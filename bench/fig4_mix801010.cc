@@ -1,0 +1,19 @@
+// Figure 4: throughput for an 80/10/10 lookup/insert/remove mix, uniform
+// keys, across key ranges and thread counts. Expected shape (paper §V-A):
+// SV variants beat USL which beats FSL, the gap widening with key range;
+// the HP-vs-Leak penalty shrinks as the range grows.
+#include <memory>
+
+#include "mix_bench.h"
+
+int main(int argc, char** argv) {
+  svbench::Options opt(argc, argv);
+  if (opt.help_requested()) {
+    svbench::print_sweep_help("fig4_mix801010", "80/10/10");
+    return 0;
+  }
+  const auto cfg = svbench::sweep_from_options(opt);
+  svbench::run_sweep("Figure 4: 80/10/10 lookup/insert/remove",
+                     sv::benchutil::MixSpec{80, 10, 10}, cfg);
+  return 0;
+}

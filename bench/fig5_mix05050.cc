@@ -1,0 +1,19 @@
+// Figure 5: throughput for a 0/50/50 insert/remove mix (the paper's
+// worst case for the skip vector: write-heavy, coarse-grained chunk
+// contention). Expected shape (§V-A): SV still beats USL everywhere;
+// at small key ranges with many threads FSL can overtake SV.
+#include <memory>
+
+#include "mix_bench.h"
+
+int main(int argc, char** argv) {
+  svbench::Options opt(argc, argv);
+  if (opt.help_requested()) {
+    svbench::print_sweep_help("fig5_mix05050", "0/50/50");
+    return 0;
+  }
+  const auto cfg = svbench::sweep_from_options(opt);
+  svbench::run_sweep("Figure 5: 0/50/50 insert/remove",
+                     sv::benchutil::MixSpec{0, 50, 50}, cfg);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7b: sorted vs unsorted chunk layouts in the index and data layers
+// (four combinations), 80/10/10 mix.
+//
+// Expected shape (§V-B): sorted index + unsorted data wins -- index chunks
+// are lookup-dominated (binary search pays), data chunks absorb most of the
+// writes (O(1) unsorted insert/remove pays).
+#include <cstdio>
+#include <memory>
+
+#include "benchutil/driver.h"
+#include "benchutil/options.h"
+#include "core/skip_vector.h"
+
+namespace {
+
+using sv::benchutil::MixSpec;
+using sv::benchutil::Options;
+using sv::vectormap::Layout;
+
+template <Layout I, Layout D>
+double run_cell(const sv::core::Config& cfg, std::uint64_t range,
+                unsigned threads, double seconds, unsigned trials) {
+  using Map = sv::core::SkipVectorMap<std::uint64_t, std::uint64_t,
+                                      sv::reclaim::HazardReclaimer, I, D>;
+  auto map = std::make_unique<Map>(cfg);
+  sv::benchutil::prefill_half(*map, range, threads);
+  auto r = sv::benchutil::run_mix_trials(*map, MixSpec{80, 10, 10}, range,
+                                         threads, seconds, trials);
+  return r.mops();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  if (opt.help_requested()) {
+    std::printf(
+        "fig7b_sorted_unsorted: chunk layout combinations (80/10/10)\n"
+        "  --range-bits=N  key range 2^N (default 20; paper 28)\n"
+        "  --threads=N     worker threads (default 2)\n"
+        "  --seconds=F     seconds per cell (default 0.5)\n"
+        "  --trials=N      trials per cell (default 1)\n");
+    return 0;
+  }
+  const auto bits = opt.u64("range-bits", 20);
+  const std::uint64_t range = 1ULL << bits;
+  const auto threads = static_cast<unsigned>(opt.u64("threads", 2));
+  const double seconds = opt.f64("seconds", 0.5);
+  const auto trials = static_cast<unsigned>(opt.u64("trials", 1));
+  const auto cfg = sv::core::Config::for_elements(range / 2);
+
+  std::printf("== Figure 7b: sorted/unsorted layer layouts (80/10/10, 2^%llu"
+              " keys, %u threads) ==\n",
+              static_cast<unsigned long long>(bits), threads);
+  std::printf("  %-28s %12s\n", "index/data layout", "Mops/s");
+  std::printf("  %-28s %12.3f\n", "sorted/unsorted (paper best)",
+              run_cell<Layout::kSorted, Layout::kUnsorted>(cfg, range, threads,
+                                                           seconds, trials));
+  std::printf("  %-28s %12.3f\n", "sorted/sorted",
+              run_cell<Layout::kSorted, Layout::kSorted>(cfg, range, threads,
+                                                         seconds, trials));
+  std::printf("  %-28s %12.3f\n", "unsorted/unsorted",
+              run_cell<Layout::kUnsorted, Layout::kUnsorted>(
+                  cfg, range, threads, seconds, trials));
+  std::printf("  %-28s %12.3f\n", "unsorted/sorted",
+              run_cell<Layout::kUnsorted, Layout::kSorted>(cfg, range, threads,
+                                                           seconds, trials));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 8: throughput of all-range workloads (mutating range queries) over
+// 2^20 keys, for a small (2^12) and a large (2^17) query span, comparing the
+// default skip vector against a tuned non-chunked configuration (the paper's
+// "SL"), both serializable via two-phase locking over the data layer.
+//
+// Expected shape (§V-B): SV substantially ahead while parallelism exists;
+// with the large span (1/8 of the key space per query) contention caps
+// scaling for both.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "benchutil/driver.h"
+#include "benchutil/options.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/sharded.h"
+#include "core/skip_vector.h"
+
+namespace {
+
+using sv::benchutil::Options;
+
+template <class Map>
+double run_range_workload(Map& map, std::uint64_t key_range,
+                          std::uint64_t span, unsigned threads,
+                          double seconds) {
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<std::uint64_t> ops(threads, 0);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sv::Xoshiro256 rng(41 + t);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t lo = rng.next_below(key_range - span);
+        map.range_transform(lo, lo + span - 1,
+                            [](std::uint64_t, std::uint64_t v) {
+                              return v + 1;  // mutating query
+                            });
+        ++local;
+      }
+      ops[t] = local;
+    });
+  }
+  sv::WallTimer timer;
+  start.store(true, std::memory_order_release);
+  while (timer.elapsed_seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  const double secs = timer.elapsed_seconds();
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (auto o : ops) total += o;
+  return static_cast<double>(total) / secs / 1e3;  // Kops/s
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  if (opt.help_requested()) {
+    std::printf(
+        "fig8_range: mutating range-query throughput, SV vs non-chunked SL\n"
+        "  --range-bits=N   key range 2^N (default 20, as in the paper)\n"
+        "  --spans=A,B      query span bits (default 12,17, as in the paper)\n"
+        "  --threads=A,B,.. thread counts (default 1,2,4)\n"
+        "  --seconds=F      seconds per cell (default 0.5)\n"
+        "  --shards=N       also run a ShardedSkipVector column with N"
+        " shards (extension; cross-shard ranges lose whole-range"
+        " atomicity)\n");
+    return 0;
+  }
+  const auto bits = opt.u64("range-bits", 20);
+  const std::uint64_t range = 1ULL << bits;
+  const auto spans = opt.u64_list("spans", {12, 17});
+  const auto threads_list = opt.u64_list("threads", {1, 2, 4});
+  const double seconds = opt.f64("seconds", 0.5);
+
+  const auto shards = static_cast<std::uint32_t>(opt.u64("shards", 0));
+
+  using Map = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
+  const auto sv_cfg = sv::core::Config::for_elements(range / 2);
+  const auto sl_cfg = sv::core::Config::sl_for_elements(range / 2);
+
+  std::printf("== Figure 8: all-range mutating workloads, 2^%llu keys ==\n",
+              static_cast<unsigned long long>(bits));
+  for (const auto span_bits : spans) {
+    const std::uint64_t span = 1ULL << span_bits;
+    std::printf("\n-- query span 2^%llu --\n",
+                static_cast<unsigned long long>(span_bits));
+    std::printf("  %-10s %14s %14s", "threads", "SV (Kops/s)", "SL (Kops/s)");
+    if (shards > 0) std::printf(" %14s", "Sharded");
+    std::printf("\n");
+    for (const auto t64 : threads_list) {
+      const auto threads = static_cast<unsigned>(t64);
+      double sv_kops, sl_kops, sh_kops = 0;
+      {
+        Map m(sv_cfg);
+        sv::benchutil::prefill_half(m, range, threads);
+        sv_kops = run_range_workload(m, range, span, threads, seconds);
+      }
+      {
+        Map m(sl_cfg);
+        sv::benchutil::prefill_half(m, range, threads);
+        sl_kops = run_range_workload(m, range, span, threads, seconds);
+      }
+      if (shards > 0) {
+        sv::core::ShardedSkipVector<std::uint64_t, std::uint64_t> m(
+            range, shards, sv_cfg);
+        sv::benchutil::prefill_half(m, range, threads);
+        sh_kops = run_range_workload(m, range, span, threads, seconds);
+      }
+      std::printf("  %-10u %14.2f %14.2f", threads, sv_kops, sl_kops);
+      if (shards > 0) std::printf(" %14.2f", sh_kops);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

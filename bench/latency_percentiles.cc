@@ -1,0 +1,100 @@
+// Tail-latency comparison: per-operation latency percentiles for SV-HP vs
+// FSL under a concurrent 80/10/10 mix. Not a numbered paper figure; it
+// substantiates the paper's conclusion that the skip vector's
+// "predictability and low latency make it an appealing choice for
+// high-performance systems" with p99/p99.9 data, and quantifies the cost
+// of the blocking design (a preempted lock holder shows up in the tail).
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/fraser_skiplist.h"
+#include "benchutil/driver.h"
+#include "benchutil/histogram.h"
+#include "benchutil/options.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/skip_vector.h"
+
+namespace {
+
+using sv::benchutil::LatencyHistogram;
+using sv::benchutil::Options;
+
+template <class Map>
+LatencyHistogram run(Map& map, std::uint64_t range, unsigned threads,
+                     double seconds) {
+  std::atomic<bool> start{false}, stop{false};
+  std::vector<LatencyHistogram> hists(threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      sv::Xoshiro256 rng(77 + t);
+      auto& h = hists[t];
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_below(range);
+        const auto dice = rng.next_below(100);
+        sv::WallTimer op;
+        if (dice < 80) {
+          volatile bool f = map.lookup(k).has_value();
+          (void)f;
+        } else if (dice < 90) {
+          map.insert(k, k);
+        } else {
+          map.remove(k);
+        }
+        h.record(op.elapsed_ns());
+      }
+    });
+  }
+  sv::WallTimer timer;
+  start.store(true, std::memory_order_release);
+  while (timer.elapsed_seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  LatencyHistogram total;
+  for (const auto& h : hists) total.merge(h);
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt(argc, argv);
+  if (opt.help_requested()) {
+    std::printf(
+        "latency_percentiles: per-op latency tails, SV-HP vs FSL\n"
+        "  --range-bits=N  key range 2^N (default 20)\n"
+        "  --threads=N     worker threads (default 2)\n"
+        "  --seconds=F     measurement seconds per structure (default 1)\n");
+    return 0;
+  }
+  const auto bits = opt.u64("range-bits", 20);
+  const std::uint64_t range = 1ULL << bits;
+  const auto threads = static_cast<unsigned>(opt.u64("threads", 2));
+  const double seconds = opt.f64("seconds", 1.0);
+
+  std::printf("== Per-operation latency, 80/10/10, 2^%llu keys, %u threads"
+              " ==\n",
+              static_cast<unsigned long long>(bits), threads);
+  {
+    sv::core::SkipVector<std::uint64_t, std::uint64_t> m(
+        sv::core::Config::for_elements(range / 2));
+    sv::benchutil::prefill_half(m, range, threads);
+    auto h = run(m, range, threads, seconds);
+    std::printf("  SV-HP: %s\n", h.summary().c_str());
+  }
+  {
+    sv::baselines::FraserSkipList<std::uint64_t, std::uint64_t> m;
+    sv::benchutil::prefill_half(m, range, threads);
+    auto h = run(m, range, threads, seconds);
+    std::printf("  FSL:   %s\n", h.summary().c_str());
+  }
+  return 0;
+}

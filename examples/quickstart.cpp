@@ -1,0 +1,64 @@
+// Quickstart: the SkipVectorMap public API in two minutes.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <cstdint>
+
+#include "core/skip_vector.h"
+
+int main() {
+  // A concurrent ordered map with hazard-pointer reclamation (the paper's
+  // SV-HP). Keys and values must be trivially copyable, lock-free types;
+  // store anything bigger behind a pointer.
+  using Map = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
+
+  // Size the layer count for the data you expect (or accept the default
+  // general-purpose configuration: 6 layers, target chunk size 32).
+  Map map(sv::core::Config::for_elements(1'000'000));
+
+  // insert returns false if the key is already present (no overwrite).
+  map.insert(3, 30);
+  map.insert(1, 10);
+  map.insert(4, 40);
+  map.insert(1, 11);  // -> false, 1 stays mapped to 10
+
+  // lookup returns std::optional<V>.
+  if (auto v = map.lookup(1)) {
+    std::printf("1 -> %llu\n", static_cast<unsigned long long>(*v));
+  }
+
+  // update overwrites in place; remove erases.
+  map.update(4, 44);
+  map.remove(3);
+
+  // Linearizable range operations (two-phase locking over the data layer):
+  map.insert(5, 50);
+  map.insert(9, 90);
+  std::printf("range [1, 9]:");
+  map.range_for_each(1, 9, [](std::uint64_t k, std::uint64_t v) {
+    std::printf(" %llu->%llu", static_cast<unsigned long long>(k),
+                static_cast<unsigned long long>(v));
+  });
+  std::printf("\n");
+
+  // Mutating range query: add 1 to every value in [1, 5].
+  const std::size_t touched =
+      map.range_transform(1, 5, [](std::uint64_t, std::uint64_t v) {
+        return v + 1;
+      });
+  std::printf("bumped %zu values; 5 -> %llu\n", touched,
+              static_cast<unsigned long long>(*map.lookup(5)));
+
+  // Quiescent helpers: ordered iteration, structural stats, validation.
+  map.for_each([](std::uint64_t k, std::uint64_t v) {
+    std::printf("  %llu -> %llu\n", static_cast<unsigned long long>(k),
+                static_cast<unsigned long long>(v));
+  });
+  auto stats = map.stats();
+  std::printf("layers=%zu data-nodes=%zu approx-size=%zu bytes=%zu\n",
+              stats.layers.size(), stats.layers[0].nodes, map.size_approx(),
+              stats.bytes);
+  std::string err;
+  std::printf("validate: %s\n", map.validate(&err) ? "ok" : err.c_str());
+  return 0;
+}

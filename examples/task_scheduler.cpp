@@ -1,0 +1,99 @@
+// Example: a deadline-driven task scheduler on the priority-queue adapter.
+//
+// Producers submit tasks with deadlines; a pool of workers always executes
+// the earliest-deadline task (EDF scheduling). Skip lists are a standard
+// substrate for concurrent priority queues (paper §I, refs [4][5]); the
+// skip vector provides the same shape with chunked locality, and its
+// exactly-once pop guarantee means no task is ever run twice or lost.
+//
+// Build & run:  ./build/examples/task_scheduler
+#include <atomic>
+#include <cstdio>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/adapters.h"
+
+namespace {
+
+struct Task {
+  std::uint32_t producer;
+  std::uint32_t sequence;
+};
+
+// Pack a deadline and a uniquifier into the 64-bit priority key so equal
+// deadlines never collide (priorities are unique keys).
+std::uint64_t make_key(std::uint64_t deadline_us, std::uint32_t uniq) {
+  return (deadline_us << 20) | (uniq & 0xFFFFF);
+}
+
+std::uint64_t encode(Task t) {
+  return (static_cast<std::uint64_t>(t.producer) << 32) | t.sequence;
+}
+
+}  // namespace
+
+int main() {
+  using Queue = sv::core::SkipVectorPriorityQueue<std::uint64_t, std::uint64_t>;
+  Queue queue(sv::core::Config::for_elements(1 << 16));
+
+  constexpr unsigned kProducers = 2;
+  constexpr unsigned kWorkers = 3;
+  constexpr std::uint32_t kTasksPerProducer = 50'000;
+
+  std::atomic<bool> done_producing{false};
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> lateness_sum{0};
+  std::atomic<std::uint64_t> submitted{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      sv::Xoshiro256 rng(p + 1);
+      for (std::uint32_t i = 0; i < kTasksPerProducer; ++i) {
+        const std::uint64_t deadline = 1'000 + rng.next_below(1 << 20);
+        const std::uint64_t key = make_key(deadline, (i << 1) | p);
+        if (queue.push(key, encode({p, i}))) {
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      std::uint64_t last_deadline = 0;
+      for (;;) {
+        auto task = queue.pop_min();
+        if (!task) {
+          if (done_producing.load()) return;
+          std::this_thread::yield();
+          continue;
+        }
+        const std::uint64_t deadline = task->first >> 20;
+        // Per-worker deadlines are monotone except for races with late
+        // submissions -- measure how often we ran "out of order".
+        if (deadline < last_deadline) {
+          lateness_sum.fetch_add(last_deadline - deadline,
+                                 std::memory_order_relaxed);
+        }
+        last_deadline = deadline;
+        executed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (unsigned p = 0; p < kProducers; ++p) threads[p].join();
+  done_producing.store(true);
+  for (unsigned w = 0; w < kWorkers; ++w) threads[kProducers + w].join();
+
+  std::printf("submitted=%llu executed=%llu (every task exactly once: %s)\n",
+              static_cast<unsigned long long>(submitted.load()),
+              static_cast<unsigned long long>(executed.load()),
+              submitted.load() == executed.load() ? "yes" : "NO");
+  std::printf("out-of-order lateness accumulated: %llu us across workers\n",
+              static_cast<unsigned long long>(lateness_sum.load()));
+  std::printf("queue drained: %s\n",
+              queue.size_approx() == 0 ? "yes" : "NO");
+  return 0;
+}

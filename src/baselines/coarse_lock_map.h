@@ -1,0 +1,83 @@
+// Coarse-grained locking baseline: std::map behind one reader/writer lock.
+// The classic "simplest thing that is thread-safe"; useful as a lower bound
+// for scalability comparisons and as an oracle in concurrent tests (its
+// serializability is trivial).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+
+namespace sv::baselines {
+
+template <class K, class V>
+class CoarseLockMap {
+ public:
+  bool insert(K k, V v) {
+    std::unique_lock lock(mu_);
+    return map_.emplace(k, v).second;
+  }
+
+  bool remove(K k) {
+    std::unique_lock lock(mu_);
+    return map_.erase(k) > 0;
+  }
+
+  bool update(K k, V v) {
+    std::unique_lock lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    it->second = v;
+    return true;
+  }
+
+  std::optional<V> lookup(K k) const {
+    std::shared_lock lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return map_.size();
+  }
+
+  template <class Fn>
+  std::size_t range_for_each(K lo, K hi, Fn&& fn) const {
+    std::shared_lock lock(mu_);
+    std::size_t n = 0;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+         ++it) {
+      fn(it->first, it->second);
+      ++n;
+    }
+    return n;
+  }
+
+  template <class Fn>
+  std::size_t range_transform(K lo, K hi, Fn&& fn) {
+    std::unique_lock lock(mu_);
+    std::size_t n = 0;
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+         ++it) {
+      it->second = fn(it->first, it->second);
+      ++n;
+    }
+    return n;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::shared_lock lock(mu_);
+    for (const auto& [k, v] : map_) fn(k, v);
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<K, V> map_;
+};
+
+}  // namespace sv::baselines

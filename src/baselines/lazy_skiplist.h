@@ -1,0 +1,296 @@
+// LazySkipList: the classic lock-based concurrent skip list (Herlihy &
+// Shavit, "The Art of Multiprocessor Programming", ch. 14 -- the
+// lazy-synchronization design family the paper's related work contrasts
+// with). Per-node spinlocks, optimistic unsynchronized search with
+// post-lock validation, logical deletion via a marked flag, wait-free
+// contains.
+//
+// Included as a second concurrent baseline: unlike FSL it takes locks
+// (like the skip vector) but has no chunking (like FSL), which isolates
+// "locking vs lock-freedom" from "chunking vs pointer-chasing" in the
+// benchmarks. Like FSL/Synchrobench it does not reclaim memory while live.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <type_traits>
+
+#include "common/hw.h"
+#include "common/rng.h"
+
+namespace sv::baselines {
+
+template <class K, class V>
+class LazySkipList {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                std::is_trivially_copyable_v<V>);
+
+ public:
+  static constexpr int kMaxHeight = 32;
+
+  explicit LazySkipList(int max_height = kMaxHeight)
+      : max_height_(max_height < 1 ? 1
+                    : max_height > kMaxHeight ? kMaxHeight
+                                              : max_height) {
+    head_ = Node::make(K{}, V{}, max_height_, Node::kHead);
+    tail_ = Node::make(K{}, V{}, max_height_, Node::kTail);
+    for (int i = 0; i < max_height_; ++i) {
+      head_->next[i].store(tail_, std::memory_order_relaxed);
+    }
+  }
+
+  ~LazySkipList() {
+    // Quiescent: walk level 0 freeing everything linked, then leaked nodes
+    // via the allocation trail.
+    Node* n = all_nodes_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->alloc_next;
+      Node::destroy(n);
+      n = next;
+    }
+    Node::destroy(head_);
+    Node::destroy(tail_);
+  }
+
+  LazySkipList(const LazySkipList&) = delete;
+  LazySkipList& operator=(const LazySkipList&) = delete;
+
+  std::optional<V> lookup(K k) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    const int lvl = find(k, preds, succs);
+    if (lvl < 0) return std::nullopt;
+    Node* n = succs[lvl];
+    if (!n->fully_linked.load(std::memory_order_acquire) ||
+        n->marked.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    return n->value.load(std::memory_order_acquire);
+  }
+
+  bool contains(K k) { return lookup(k).has_value(); }
+
+  bool insert(K k, V v) {
+    const int height = random_height();
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      const int found = find(k, preds, succs);
+      if (found >= 0) {
+        Node* n = succs[found];
+        if (!n->marked.load(std::memory_order_acquire)) {
+          // Wait until the racing inserter finishes linking, then report
+          // the key as present.
+          while (!n->fully_linked.load(std::memory_order_acquire)) {
+            cpu_relax();
+          }
+          return false;
+        }
+        continue;  // marked: being removed; retry
+      }
+      // Lock predecessors bottom-up and validate.
+      int locked_to = -1;
+      bool valid = true;
+      for (int i = 0; valid && i < height; ++i) {
+        Node* pred = preds[i];
+        Node* succ = succs[i];
+        if (i == 0 || preds[i] != preds[i - 1]) pred->lock.lock();
+        locked_to = i;
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[i].load(std::memory_order_acquire) == succ;
+      }
+      if (!valid) {
+        unlock_preds(preds, locked_to);
+        continue;
+      }
+      Node* node = Node::make(k, v, height, Node::kData);
+      record_allocation(node);
+      for (int i = 0; i < height; ++i) {
+        node->next[i].store(succs[i], std::memory_order_relaxed);
+      }
+      for (int i = 0; i < height; ++i) {
+        preds[i]->next[i].store(node, std::memory_order_release);
+      }
+      node->fully_linked.store(true, std::memory_order_release);
+      unlock_preds(preds, locked_to);
+      return true;
+    }
+  }
+
+  bool remove(K k) {
+    Node* victim = nullptr;
+    bool is_marked = false;
+    int top = -1;
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    for (;;) {
+      const int found = find(k, preds, succs);
+      if (!is_marked) {
+        if (found < 0) return false;
+        victim = succs[found];
+        if (!victim->fully_linked.load(std::memory_order_acquire) ||
+            victim->height - 1 != found) {
+          return false;  // mid-insert: treat as absent (as H&S does)
+        }
+        if (victim->marked.load(std::memory_order_acquire)) return false;
+        top = victim->height - 1;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();
+          return false;  // lost the race
+        }
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+      // Lock predecessors and validate.
+      int locked_to = -1;
+      bool valid = true;
+      for (int i = 0; valid && i <= top; ++i) {
+        Node* pred = preds[i];
+        if (i == 0 || preds[i] != preds[i - 1]) pred->lock.lock();
+        locked_to = i;
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[i].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) {
+        unlock_preds(preds, locked_to);
+        continue;  // re-find and retry the unlink
+      }
+      for (int i = top; i >= 0; --i) {
+        preds[i]->next[i].store(
+            victim->next[i].load(std::memory_order_relaxed),
+            std::memory_order_release);
+      }
+      victim->lock.unlock();
+      unlock_preds(preds, locked_to);
+      return true;
+    }
+  }
+
+  // Quiescent ordered iteration.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Node* n = head_->next[0].load(std::memory_order_acquire);
+         n->kind != Node::kTail;
+         n = n->next[0].load(std::memory_order_acquire)) {
+      if (!n->marked.load(std::memory_order_relaxed)) {
+        fn(n->key, n->value.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  // Quiescent structural check.
+  bool validate() const {
+    for (int level = 0; level < max_height_; ++level) {
+      bool have_prev = false;
+      K prev{};
+      for (const Node* n = head_->next[level].load(std::memory_order_acquire);
+           n->kind != Node::kTail;
+           n = n->next[level].load(std::memory_order_acquire)) {
+        if (n->marked.load(std::memory_order_relaxed)) return false;
+        if (!n->fully_linked.load(std::memory_order_relaxed)) return false;
+        if (level >= n->height) return false;
+        if (have_prev && !(prev < n->key)) return false;
+        prev = n->key;
+        have_prev = true;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    enum Kind : std::uint8_t { kData, kHead, kTail };
+
+    K key;
+    std::atomic<V> value;
+    std::mutex lock;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    Node* alloc_next = nullptr;
+    const int height;
+    const Kind kind;
+    std::atomic<Node*> next[1];  // trailing, `height` entries
+
+    static Node* make(K k, V v, int height, Kind kind) {
+      const std::size_t bytes =
+          sizeof(Node) + (height - 1) * sizeof(std::atomic<Node*>);
+      void* mem = ::operator new(bytes);
+      auto* n = new (mem) Node(k, v, height, kind);
+      for (int i = 1; i < height; ++i) {
+        new (&n->next[i]) std::atomic<Node*>(nullptr);
+      }
+      return n;
+    }
+    static void destroy(Node* n) {
+      n->~Node();
+      ::operator delete(n);
+    }
+
+   private:
+    Node(K k, V v, int h, Kind kd) : key(k), value(v), height(h), kind(kd) {
+      next[0].store(nullptr, std::memory_order_relaxed);
+    }
+  };
+
+  static bool lt(const Node* n, K k) {
+    return n->kind == Node::kHead || (n->kind == Node::kData && n->key < k);
+  }
+  static bool eq(const Node* n, K k) {
+    return n->kind == Node::kData && n->key == k;
+  }
+
+  // Unsynchronized search. Returns the highest level at which k was found
+  // (or -1), filling preds/succs at every level.
+  int find(K k, Node** preds, Node** succs) const {
+    int found = -1;
+    Node* pred = head_;
+    for (int level = max_height_ - 1; level >= 0; --level) {
+      Node* curr = pred->next[level].load(std::memory_order_acquire);
+      while (lt(curr, k)) {
+        pred = curr;
+        curr = pred->next[level].load(std::memory_order_acquire);
+      }
+      if (found < 0 && eq(curr, k)) found = level;
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    return found;
+  }
+
+  static void unlock_preds(Node** preds, int locked_to) {
+    for (int i = 0; i <= locked_to; ++i) {
+      if (i == 0 || preds[i] != preds[i - 1]) preds[i]->lock.unlock();
+    }
+  }
+
+  int random_height() {
+    thread_local Xoshiro256 rng = [] {
+      static std::atomic<std::uint64_t> c{0x1a2b};
+      return Xoshiro256(c.fetch_add(0x9e3779b97f4a7c15ULL,
+                                    std::memory_order_relaxed));
+    }();
+    int h = 1;
+    while (h < max_height_ && (rng.next() & 1) == 0) ++h;
+    return h;
+  }
+
+  void record_allocation(Node* n) {
+    Node* old = all_nodes_.load(std::memory_order_relaxed);
+    do {
+      n->alloc_next = old;
+    } while (!all_nodes_.compare_exchange_weak(old, n,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  }
+
+  const int max_height_;
+  Node* head_;
+  Node* tail_;
+  std::atomic<Node*> all_nodes_{nullptr};
+};
+
+}  // namespace sv::baselines

@@ -1,0 +1,243 @@
+// Sequential ordered-map baselines for the paper's Figure 1 (Stroustrup's
+// locality experiment): an unsorted vector, a sorted vector, a std::map
+// adapter, and a classic sequential skip list. All expose the same minimal
+// interface as SkipVectorMap's sequential use: insert / lookup / remove /
+// for_each.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sv::baselines {
+
+// O(n) everything, but a single linear scan of contiguous memory.
+template <class K, class V>
+class UnsortedVectorMap {
+ public:
+  bool insert(K k, V v) {
+    if (find(k) != nullptr) return false;
+    keys_.push_back(k);
+    vals_.push_back(v);
+    return true;
+  }
+
+  std::optional<V> lookup(K k) const {
+    const K* p = find(k);
+    if (p == nullptr) return std::nullopt;
+    return vals_[static_cast<std::size_t>(p - keys_.data())];
+  }
+
+  bool remove(K k) {
+    const K* p = find(k);
+    if (p == nullptr) return false;
+    const auto i = static_cast<std::size_t>(p - keys_.data());
+    keys_[i] = keys_.back();
+    vals_[i] = vals_.back();
+    keys_.pop_back();
+    vals_.pop_back();
+    return true;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {  // ascending order (sorts a copy)
+    std::vector<std::size_t> order(keys_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return keys_[a] < keys_[b]; });
+    for (std::size_t i : order) fn(keys_[i], vals_[i]);
+  }
+
+ private:
+  const K* find(K k) const {
+    for (const K& x : keys_) {
+      if (x == k) return &x;
+    }
+    return nullptr;
+  }
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+};
+
+// O(log n) lookup by binary search; O(n) insert/remove by shifting.
+template <class K, class V>
+class SortedVectorMap {
+ public:
+  bool insert(K k, V v) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it != keys_.end() && *it == k) return false;
+    vals_.insert(vals_.begin() + (it - keys_.begin()), v);
+    keys_.insert(it, k);
+    return true;
+  }
+
+  std::optional<V> lookup(K k) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.end() || *it != k) return std::nullopt;
+    return vals_[static_cast<std::size_t>(it - keys_.begin())];
+  }
+
+  bool remove(K k) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.end() || *it != k) return false;
+    vals_.erase(vals_.begin() + (it - keys_.begin()));
+    keys_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) fn(keys_[i], vals_[i]);
+  }
+
+ private:
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+};
+
+// Balanced-tree baseline (the C++ map of Fig. 1).
+template <class K, class V>
+class StdMapAdapter {
+ public:
+  bool insert(K k, V v) { return map_.emplace(k, v).second; }
+
+  std::optional<V> lookup(K k) const {
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool remove(K k) { return map_.erase(k) > 0; }
+  std::size_t size() const { return map_.size(); }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, v] : map_) fn(k, v);
+  }
+
+ private:
+  std::map<K, V> map_;
+};
+
+// Classic Pugh skip list (p = 1/2), single-threaded: pointer-chasing layout,
+// no chunking -- Fig. 1's fourth contender.
+template <class K, class V>
+class SequentialSkipList {
+ public:
+  static constexpr int kMaxHeight = 32;
+
+  explicit SequentialSkipList(int max_height = kMaxHeight,
+                              std::uint64_t seed = 99)
+      : max_height_(max_height < 1 ? 1
+                    : max_height > kMaxHeight ? kMaxHeight
+                                              : max_height),
+        rng_(seed) {
+    head_ = Node::make(K{}, V{}, max_height_);
+    for (int i = 0; i < max_height_; ++i) head_->next[i] = nullptr;
+  }
+
+  ~SequentialSkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      Node::destroy(n);
+      n = next;
+    }
+  }
+
+  SequentialSkipList(const SequentialSkipList&) = delete;
+  SequentialSkipList& operator=(const SequentialSkipList&) = delete;
+
+  bool insert(K k, V v) {
+    Node* preds[kMaxHeight];
+    Node* found = find(k, preds);
+    if (found != nullptr) return false;
+    const int h = random_height();
+    Node* node = Node::make(k, v, h);
+    for (int i = 0; i < h; ++i) {
+      node->next[i] = preds[i]->next[i];
+      preds[i]->next[i] = node;
+    }
+    ++size_;
+    return true;
+  }
+
+  std::optional<V> lookup(K k) {
+    Node* preds[kMaxHeight];
+    Node* found = find(k, preds);
+    if (found == nullptr) return std::nullopt;
+    return found->value;
+  }
+
+  bool remove(K k) {
+    Node* preds[kMaxHeight];
+    Node* found = find(k, preds);
+    if (found == nullptr) return false;
+    for (int i = 0; i < found->height; ++i) {
+      if (preds[i]->next[i] == found) preds[i]->next[i] = found->next[i];
+    }
+    Node::destroy(found);
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->key, n->value);
+    }
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    int height;
+    Node* next[1];  // trailing, `height` entries
+
+    static Node* make(K k, V v, int h) {
+      void* mem = ::operator new(sizeof(Node) + (h - 1) * sizeof(Node*));
+      return new (mem) Node{k, v, h, {nullptr}};
+    }
+    static void destroy(Node* n) { ::operator delete(n); }
+  };
+
+  Node* find(K k, Node** preds) {
+    Node* pred = head_;
+    Node* found = nullptr;
+    for (int i = max_height_ - 1; i >= 0; --i) {
+      Node* curr = pred->next[i];
+      while (curr != nullptr && curr->key < k) {
+        pred = curr;
+        curr = curr->next[i];
+      }
+      preds[i] = pred;
+      if (curr != nullptr && curr->key == k) found = curr;
+    }
+    return found;
+  }
+
+  int random_height() {
+    int h = 1;
+    while (h < max_height_ && (rng_.next() & 1) == 0) ++h;
+    return h;
+  }
+
+  const int max_height_;
+  Xoshiro256 rng_;
+  Node* head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sv::baselines

@@ -1,0 +1,21 @@
+#include "benchutil/driver.h"
+
+#include <cstdio>
+
+namespace sv::benchutil {
+
+std::string format_row(const std::string& impl, unsigned threads,
+                       double mops) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-16s %8u %14.3f", impl.c_str(), threads,
+                mops);
+  return buf;
+}
+
+void print_table_header(const std::string& title, const std::string& params) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!params.empty()) std::printf("   %s\n", params.c_str());
+  std::printf("  %-16s %8s %14s\n", "impl", "threads", "Mops/s");
+}
+
+}  // namespace sv::benchutil

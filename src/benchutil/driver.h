@@ -1,0 +1,160 @@
+// Fixed-duration multi-threaded workload driver used by every figure bench:
+// prefill half the key range, then run an N/M/P lookup/insert/remove mix for
+// a wall-clock interval and report throughput, exactly the methodology of
+// the paper's §V microbenchmarks.
+//
+// Map concept: bool insert(u64, u64); bool remove(u64);
+//              std::optional<u64> lookup(u64).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "common/zipf.h"
+
+namespace sv::benchutil {
+
+struct MixSpec {
+  unsigned pct_lookup = 80;
+  unsigned pct_insert = 10;
+  unsigned pct_remove = 10;
+  // 0 = uniform keys (the paper's microbenchmarks); > 0 = Zipfian skew.
+  double zipf_theta = 0.0;
+  std::string name() const {
+    std::string s = std::to_string(pct_lookup) + "/" +
+                    std::to_string(pct_insert) + "/" +
+                    std::to_string(pct_remove);
+    if (zipf_theta > 0) {
+      s += " zipf(" + std::to_string(zipf_theta).substr(0, 4) + ")";
+    }
+    return s;
+  }
+};
+
+struct RunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t removes = 0;
+  double seconds = 0;
+  double mops() const { return seconds == 0 ? 0 : ops / seconds / 1e6; }
+};
+
+// Prefill with half of the keys in [0, key_range): random draws until the
+// target count is reached (Synchrobench-style), striped over `threads`
+// workers for a "NUMA-fair"-equivalent spread of allocations.
+template <class Map>
+void prefill_half(Map& map, std::uint64_t key_range, unsigned threads,
+                  std::uint64_t seed = 0xF111) {
+  const std::uint64_t target = key_range / 2;
+  std::atomic<std::uint64_t> tickets{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(seed + t);
+      // Claim a ticket per successful insert so the final population is
+      // exactly `target` regardless of interleaving.
+      while (tickets.fetch_add(1, std::memory_order_relaxed) < target) {
+        while (!map.insert(rng.next_below(key_range),
+                           rng.next() | 1)) {
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+// Run the op mix with uniform keys for `seconds` of wall-clock time.
+template <class Map>
+RunResult run_mix(Map& map, const MixSpec& mix, std::uint64_t key_range,
+                  unsigned threads, double seconds,
+                  std::uint64_t seed = 0xB12) {
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<RunResult> per_thread(threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(seed * 7919 + t);
+      std::unique_ptr<ZipfGenerator> zipf;
+      if (mix.zipf_theta > 0) {
+        zipf = std::make_unique<ZipfGenerator>(key_range, mix.zipf_theta,
+                                               seed * 131 + t);
+      }
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      RunResult local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Check the stop flag once per batch to keep it off the hot path.
+        for (int i = 0; i < 128; ++i) {
+          const std::uint64_t k =
+              zipf ? zipf->next() : rng.next_below(key_range);
+          const auto dice = rng.next_below(100);
+          if (dice < mix.pct_lookup) {
+            volatile bool found = map.lookup(k).has_value();
+            (void)found;
+            ++local.lookups;
+          } else if (dice < mix.pct_lookup + mix.pct_insert) {
+            map.insert(k, k ^ 0x5555555555555555ULL);
+            ++local.inserts;
+          } else {
+            map.remove(k);
+            ++local.removes;
+          }
+        }
+        local.ops += 128;
+      }
+      per_thread[t] = local;
+    });
+  }
+  WallTimer timer;
+  start.store(true, std::memory_order_release);
+  while (timer.elapsed_seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  const double elapsed = timer.elapsed_seconds();
+  for (auto& w : workers) w.join();
+
+  RunResult total;
+  for (const auto& r : per_thread) {
+    total.ops += r.ops;
+    total.lookups += r.lookups;
+    total.inserts += r.inserts;
+    total.removes += r.removes;
+  }
+  total.seconds = elapsed;
+  return total;
+}
+
+// Repeat run_mix `trials` times and return the mean throughput result (the
+// paper averages five runs).
+template <class Map>
+RunResult run_mix_trials(Map& map, const MixSpec& mix, std::uint64_t key_range,
+                         unsigned threads, double seconds, unsigned trials,
+                         std::uint64_t seed = 0xB12) {
+  RunResult acc;
+  for (unsigned i = 0; i < trials; ++i) {
+    RunResult r = run_mix(map, mix, key_range, threads, seconds, seed + i);
+    acc.ops += r.ops;
+    acc.lookups += r.lookups;
+    acc.inserts += r.inserts;
+    acc.removes += r.removes;
+    acc.seconds += r.seconds;
+  }
+  return acc;
+}
+
+// Pretty row formatting shared by the figure benches.
+std::string format_row(const std::string& impl, unsigned threads,
+                       double mops);
+void print_table_header(const std::string& title,
+                        const std::string& params);
+
+}  // namespace sv::benchutil

@@ -1,0 +1,96 @@
+// Log-bucketed latency histogram (HdrHistogram-style, power-of-two buckets
+// with linear sub-buckets): constant-time record, fixed memory, percentile
+// queries. Used by bench/latency_percentiles to check the paper's
+// "predictability and low latency" conclusion with tail data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sv::benchutil {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketBits = 6;  // 64 linear sub-buckets per octave
+  static constexpr int kOctaves = 40;    // up to ~2^40 ns (~18 min)
+  static constexpr int kBuckets = kOctaves << kBucketBits;
+
+  void record(std::uint64_t nanos) noexcept {
+    counts_[index_for(nanos)]++;
+    total_++;
+    if (nanos > max_) max_ = nanos;
+    sum_ += nanos;
+  }
+
+  // Merge another histogram (e.g., per-thread locals into a global).
+  void merge(const LatencyHistogram& o) noexcept {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  // Value at percentile p in [0, 100]. Returns a bucket's representative
+  // (lower-bound) latency in nanoseconds.
+  std::uint64_t percentile(double p) const noexcept {
+    if (total_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target || (p >= 100.0 && seen >= total_)) {
+        return value_for(i);
+      }
+    }
+    return max_;
+  }
+
+  std::string summary() const {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.0fns p50=%llu p90=%llu p99=%llu "
+                  "p99.9=%llu max=%llu",
+                  static_cast<unsigned long long>(total_), mean(),
+                  static_cast<unsigned long long>(percentile(50)),
+                  static_cast<unsigned long long>(percentile(90)),
+                  static_cast<unsigned long long>(percentile(99)),
+                  static_cast<unsigned long long>(percentile(99.9)),
+                  static_cast<unsigned long long>(max_));
+    return buf;
+  }
+
+ private:
+  static int index_for(std::uint64_t v) noexcept {
+    if (v < (1u << kBucketBits)) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int octave = msb - kBucketBits + 1;
+    const auto sub = static_cast<int>((v >> (msb - kBucketBits)) &
+                                      ((1u << kBucketBits) - 1));
+    int idx = ((octave + 1) << kBucketBits) + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static std::uint64_t value_for(int idx) noexcept {
+    const int octave = (idx >> kBucketBits) - 1;
+    const std::uint64_t sub = idx & ((1u << kBucketBits) - 1);
+    if (octave < 0) return sub;
+    return (std::uint64_t{1} << (octave + kBucketBits - 1)) +
+           (sub << (octave - 1 >= 0 ? octave - 1 : 0));
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sv::benchutil

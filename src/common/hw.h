@@ -1,0 +1,27 @@
+// Hardware-related constants and small helpers.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace sv {
+
+// Destructive interference range. We avoid std::hardware_destructive_
+// interference_size because GCC warns that its value is ABI-fragile.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Pause hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline unsigned hardware_threads() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace sv

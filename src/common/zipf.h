@@ -1,0 +1,55 @@
+// Zipfian key generator, used by the YCSB-style workload (Fig. 6).
+//
+// Implements the classic Gray et al. (SIGMOD '94) "quick and portable"
+// method, the same one used by YCSB and DBx1000: O(1) per sample after O(n)
+// setup of two constants. theta = 0 is uniform; larger theta is more skewed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace sv {
+
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Returns a value in [0, n).
+  std::uint64_t next() noexcept {
+    if (theta_ == 0.0) return rng_.next_below(n_);
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace sv

@@ -1,0 +1,97 @@
+// Adapters layering the paper's §I motivating abstractions over the skip
+// vector: an ordered set and a concurrent priority queue (skip lists are a
+// standard substrate for both [4], [5]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "core/skip_vector.h"
+
+namespace sv::core {
+
+// Ordered set of keys.
+template <class K, class Reclaimer = reclaim::HazardReclaimer>
+class SkipVectorSet {
+ public:
+  explicit SkipVectorSet(Config config = Config{}) : map_(config) {}
+
+  bool add(K k) { return map_.insert(k, 0); }
+  bool erase(K k) { return map_.remove(k); }
+  bool contains(K k) { return map_.lookup(k).has_value(); }
+  std::size_t size_approx() const { return map_.size_approx(); }
+
+  std::optional<K> first() {
+    auto e = map_.first();
+    if (!e) return std::nullopt;
+    return e->first;
+  }
+  std::optional<K> last() {
+    auto e = map_.last();
+    if (!e) return std::nullopt;
+    return e->first;
+  }
+
+  // Keys in [lo, hi], ascending, linearizable.
+  template <class Fn>
+  std::size_t range_for_each(K lo, K hi, Fn&& fn) {
+    return map_.range_for_each(lo, hi, [&](K k, std::uint8_t) { fn(k); });
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {  // quiescent
+    map_.for_each([&](K k, std::uint8_t) { fn(k); });
+  }
+
+  bool validate(std::string* err = nullptr) const {
+    return map_.validate(err);
+  }
+
+ private:
+  SkipVectorMap<K, std::uint8_t, Reclaimer> map_;
+};
+
+// Concurrent priority queue (min-queue over keys).
+//
+// pop_min() is linearizable with respect to concurrent pops: each element
+// is claimed by exactly one popper (the successful remove). Like the
+// skip-list priority queues the paper cites, an element inserted
+// concurrently with a pop may or may not be observed by it; pops never
+// return elements out of thin air and never lose elements.
+template <class K, class V, class Reclaimer = reclaim::HazardReclaimer>
+class SkipVectorPriorityQueue {
+ public:
+  explicit SkipVectorPriorityQueue(Config config = Config{}) : map_(config) {}
+
+  // False if the priority is already present (priorities are unique keys;
+  // callers needing duplicates should pack a sequence number into the key).
+  bool push(K priority, V v) { return map_.insert(priority, v); }
+
+  // Remove and return the smallest element, or nullopt if empty.
+  std::optional<std::pair<K, V>> pop_min() {
+    for (;;) {
+      auto e = map_.first();
+      if (!e) return std::nullopt;
+      if (map_.remove(e->first)) return std::make_pair(e->first, e->second);
+      // Someone else claimed it; retry from the new minimum.
+    }
+  }
+
+  std::optional<std::pair<K, V>> peek_min() {
+    auto e = map_.first();
+    if (!e) return std::nullopt;
+    return std::make_pair(e->first, e->second);
+  }
+
+  std::size_t size_approx() const { return map_.size_approx(); }
+
+  bool validate(std::string* err = nullptr) const {
+    return map_.validate(err);
+  }
+
+ private:
+  SkipVectorMap<K, V, Reclaimer> map_;
+};
+
+}  // namespace sv::core

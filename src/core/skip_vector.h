@@ -1,0 +1,1441 @@
+// SkipVectorMap: the paper's primary contribution (Listings 1-4).
+//
+// A concurrent ordered map structured like a skip list whose index and data
+// layers are flattened into chunks ("vectors") of target size T (capacity
+// 2T). Each node carries a sequence lock with isOrphan/isFrozen flags;
+// traversals are speculative hand-over-hand read sections, mutations take
+// write locks bottom-up after a top-down freeze phase, and unlinked nodes
+// are reclaimed through a pluggable Reclaimer policy (hazard pointers for
+// SV-HP, leaking for SV-Leak, immediate free for sequential use).
+//
+// Template parameters:
+//   K, V           key/value; must be trivially copyable and lock-free as
+//                  std::atomic (speculative readers require it; see
+//                  DESIGN.md §3.2). 64-bit keys/values as in the paper.
+//   Reclaimer      sv::reclaim::{HazardReclaimer, LeakReclaimer,
+//                  ImmediateReclaimer}
+//   kIndexLayout   chunk layout of index layers (paper's best: sorted)
+//   kDataLayout    chunk layout of the data layer (paper's best: unsorted)
+//
+// Deviations from the listings (all argued in DESIGN.md §3): head nodes use
+// an is_head flag plus an explicit head_down pointer instead of a reserved
+// sentinel key (so the full key domain is usable), and next == nullptr
+// replaces the top sentinel. Where the paper's "K is minimum of a non-orphan
+// node" checks appear, head nodes are exempt (a head's conceptual minimum is
+// -inf, so a user key being its vector minimum implies nothing about upper
+// layers).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <iostream>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/hw.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "reclaim/reclaimer.h"
+#include "sync/backoff.h"
+#include "sync/sequence_lock.h"
+#include "vectormap/vector_map.h"
+
+namespace sv::core {
+
+template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
+          vectormap::Layout kIndexLayout = vectormap::Layout::kSorted,
+          vectormap::Layout kDataLayout = vectormap::Layout::kUnsorted>
+class SkipVectorMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                std::is_trivially_copyable_v<V>);
+  static_assert(std::atomic<K>::is_always_lock_free &&
+                    std::atomic<V>::is_always_lock_free,
+                "speculative readers require lock-free atomic elements; "
+                "store larger values behind a pointer");
+
+  using Lock = sync::SequenceLock;
+  using Word = Lock::Word;
+  using Ctx = typename Reclaimer::ThreadCtx;
+
+  // ---- Node layout ---------------------------------------------------------
+
+  struct NodeBase {
+    Lock lock;
+    std::atomic<NodeBase*> next{nullptr};
+    NodeBase* const head_down;  // heads only: head of the layer below
+    const std::uint32_t capacity;
+    const std::uint8_t layer;  // 0 = data layer
+    const bool is_head;
+
+    NodeBase(NodeBase* down, std::uint32_t cap, std::uint8_t lyr, bool head,
+             bool orphan) noexcept
+        : lock(orphan), head_down(down), capacity(cap), layer(lyr),
+          is_head(head) {}
+  };
+
+  template <class P, vectormap::Layout kLayout>
+  struct NodeT : NodeBase {
+    vectormap::VectorMap<K, P, kLayout> vec;
+    NodeT(std::atomic<K>* keys, std::atomic<P>* vals, NodeBase* down,
+          std::uint32_t cap, std::uint8_t lyr, bool head, bool orphan) noexcept
+        : NodeBase(down, cap, lyr, head, orphan), vec(keys, vals, cap) {}
+  };
+
+  using IndexNode = NodeT<NodeBase*, kIndexLayout>;
+  using DataNode = NodeT<V, kDataLayout>;
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+
+  explicit SkipVectorMap(Config config = Config{}) : config_(config) {
+    config_.validate();
+    heads_.resize(config_.layer_count);
+    heads_[0] = alloc_node<DataNode, V>(config_.data_capacity(), nullptr, 0,
+                                        /*head=*/true, /*orphan=*/false);
+    for (std::uint32_t l = 1; l < config_.layer_count; ++l) {
+      heads_[l] = alloc_node<IndexNode, NodeBase*>(
+          config_.index_capacity(), heads_[l - 1], static_cast<std::uint8_t>(l),
+          /*head=*/true, /*orphan=*/false);
+    }
+    head_ = heads_[config_.layer_count - 1];
+  }
+
+  ~SkipVectorMap() {
+    // Quiescent teardown: free every node still linked into a layer. Nodes
+    // already unlinked are owned by the reclaimer (freed by the hazard
+    // domain's destructor, or intentionally leaked by LeakReclaimer).
+    for (NodeBase* h : heads_) {
+      NodeBase* n = h;
+      while (n != nullptr) {
+        NodeBase* next = n->next.load(std::memory_order_relaxed);
+        free_node(n);
+        n = next;
+      }
+    }
+  }
+
+  SkipVectorMap(const SkipVectorMap&) = delete;
+  SkipVectorMap& operator=(const SkipVectorMap&) = delete;
+
+  const Config& config() const noexcept { return config_; }
+  Reclaimer& reclaimer() noexcept { return reclaimer_; }
+
+  // ---- Lookup (Listing 2) --------------------------------------------------
+
+  std::optional<V> lookup(K k) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      std::optional<V> result;
+      if (try_lookup(ctx, k, result)) return result;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  bool contains(K k) { return lookup(k).has_value(); }
+
+  // ---- Insert (Listing 3) --------------------------------------------------
+
+  // Inserts the mapping k -> v; returns false (no change) if k is present.
+  bool insert(K k, V v) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    const std::uint32_t height = random_height();
+    InsertState st;
+    for (;;) {
+      bool result = false;
+      if (try_insert(ctx, k, v, height, st, result)) {
+        if (result) approx_size_.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // ---- Remove (Listing 4) --------------------------------------------------
+
+  // Removes k; returns false (no change) if absent.
+  bool remove(K k) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      bool result = false;
+      if (try_remove(ctx, k, result)) {
+        if (result) approx_size_.fetch_sub(1, std::memory_order_relaxed);
+        return result;
+      }
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // ---- Update in place -----------------------------------------------------
+
+  // Replaces the value mapped by k; returns false if k is absent.
+  bool update(K k, V v) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      bool result = false;
+      if (try_update(ctx, k, v, result)) return result;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // ---- Ordered navigation ----------------------------------------------------
+  //
+  // Point queries that exploit key order (the reason to prefer an ordered
+  // map over a hash map, §I): floor/ceiling and first/last. All are
+  // linearizable, read-only, and use the same speculative traversal as
+  // Lookup; last() descends the rightmost spine in O(log n).
+
+  using Entry = std::optional<std::pair<K, V>>;
+
+  // Largest mapping with key <= k, if any.
+  Entry floor(K k) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      Entry out;
+      if (try_floor(ctx, k, out)) return out;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // Smallest mapping with key >= k, if any.
+  Entry ceiling(K k) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      Entry out;
+      if (try_ceiling(ctx, k, out)) return out;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // Smallest / largest mapping in the map, if any.
+  Entry first() {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      Entry out;
+      Trav t;
+      t.node = heads_[0];
+      t.slot = 0;
+      ctx.protect(t.slot, t.node);
+      t.ver = t.node->lock.read_begin();
+      if (try_scan_forward(ctx, t, K{}, /*use_k=*/false, out)) return out;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  Entry last() {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      Entry out;
+      if (try_last(ctx, out)) return out;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  // ---- Range operations (§V-B, Fig. 8) --------------------------------------
+  //
+  // Two-phase locking over the data layer: write-lock every data node
+  // intersecting [lo, hi] left to right, apply, release. Linearizable (and
+  // serializable against all other operations), as the paper's lock-based
+  // design makes trivial.
+
+  // Mutating range query: fn(K, V) -> V is applied exactly once to each
+  // mapping in [lo, hi] (ascending node order; unspecified order within a
+  // chunk); the returned value is stored back. Returns mappings visited.
+  template <class Fn>
+  std::size_t range_transform(K lo, K hi, Fn&& fn) {
+    return range_locked(lo, hi, [&](DataNode* n) -> std::size_t {
+      return n->vec.transform_range(lo, hi, fn);
+    });
+  }
+
+  // Read-only range query, same locking discipline (serializable).
+  // fn(K, V) is invoked in ascending key order. Returns count visited.
+  template <class Fn>
+  std::size_t range_for_each(K lo, K hi, Fn&& fn) {
+    return range_locked(lo, hi, [&](DataNode* n) -> std::size_t {
+      std::size_t visited = 0;
+      n->vec.for_each_ordered([&](K k, V v) {
+        if (k >= lo && k <= hi) {
+          fn(k, v);
+          ++visited;
+        }
+      });
+      return visited;
+    });
+  }
+
+  // Non-atomic bulk erase: removes every mapping in [lo, hi] one key at a
+  // time. Each individual removal is linearizable, but the range as a whole
+  // is not atomic (concurrent inserts into [lo, hi] may survive). An atomic
+  // version is future work the paper defers to [8]. Returns keys removed.
+  std::size_t erase_range(K lo, K hi) {
+    std::vector<K> victims;
+    range_for_each(lo, hi, [&](K k, V) { victims.push_back(k); });
+    std::size_t removed = 0;
+    for (K k : victims) removed += remove(k) ? 1 : 0;
+    return removed;
+  }
+
+  // Quiescent: remove every mapping, retaining the layer skeleton. Nodes
+  // are freed directly (no other thread may touch the map concurrently).
+  void clear() {
+    for (NodeBase* h : heads_) {
+      NodeBase* n = h->next.load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        NodeBase* next = n->next.load(std::memory_order_relaxed);
+        free_node(n);
+        n = next;
+      }
+      h->next.store(nullptr, std::memory_order_relaxed);
+      if (h->layer) {
+        as_index(h)->vec.clear();
+      } else {
+        as_data(h)->vec.clear();
+      }
+      h->lock.acquire();  // bump the version: invalidate stale observers
+      h->lock.release();
+    }
+    approx_size_.store(0, std::memory_order_relaxed);
+  }
+
+  // Quiescent forward iteration in ascending key order (STL interop).
+  // Invalidated by any mutation; intended for single-threaded phases.
+  class const_iterator {
+   public:
+    using value_type = std::pair<K, V>;
+    using reference = const value_type&;
+    using pointer = const value_type*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+
+    reference operator*() const { return buf_[i_]; }
+    pointer operator->() const { return &buf_[i_]; }
+
+    const_iterator& operator++() {
+      if (++i_ >= buf_.size()) advance_node();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const {
+      return node_ == o.node_ && i_ == o.i_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class SkipVectorMap;
+    explicit const_iterator(const NodeBase* node) : node_(node) {
+      fill();
+      if (buf_.empty()) advance_node();
+    }
+
+    void advance_node() {
+      do {
+        node_ = node_ ? node_->next.load(std::memory_order_relaxed) : nullptr;
+        fill();
+      } while (node_ != nullptr && buf_.empty());
+      i_ = 0;
+      if (node_ == nullptr) buf_.clear();
+    }
+
+    void fill() {
+      buf_.clear();
+      i_ = 0;
+      if (node_ == nullptr) return;
+      static_cast<const DataNode*>(node_)->vec.for_each_ordered(
+          [&](K k, V v) { buf_.emplace_back(k, v); });
+    }
+
+    const NodeBase* node_ = nullptr;
+    std::vector<value_type> buf_;
+    std::size_t i_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(heads_[0]); }
+  const_iterator end() const { return const_iterator(); }
+
+  // Consistent copy of every mapping in [lo, hi] (a linearizable snapshot,
+  // the capability the paper contrasts against non-linearizable range
+  // queries in competing skip lists, §V-B).
+  std::vector<std::pair<K, V>> snapshot(K lo, K hi) {
+    std::vector<std::pair<K, V>> out;
+    range_for_each(lo, hi, [&](K k, V v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ---- Bulk construction (quiescent) -----------------------------------------
+
+  // Populate an EMPTY map from strictly ascending unique (key, value)
+  // pairs: data chunks packed to targetDataVectorSize, index layers built
+  // bottom-up, every chunk exactly at its target fill. O(n), versus
+  // O(n log n) repeated insert. Throws std::logic_error if the map is not
+  // empty, std::invalid_argument if the input is not strictly ascending.
+  //
+  // Nodes created at the top layer (beyond the head's capacity) are marked
+  // orphans: like capacity-split siblings (Fig. 3d) they have no parent
+  // entry, and the invariant checks rely on that.
+  void bulk_load(const std::vector<std::pair<K, V>>& sorted) {
+    if (size_approx() != 0 ||
+        heads_[0]->next.load(std::memory_order_relaxed) != nullptr ||
+        node_size(heads_[0]) != 0) {
+      throw std::logic_error("bulk_load requires an empty map");
+    }
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (!(sorted[i - 1].first < sorted[i].first)) {
+        throw std::invalid_argument("bulk_load input must strictly ascend");
+      }
+    }
+    if (sorted.empty()) return;
+    const std::uint32_t top = config_.layer_count - 1;
+
+    // Entries to link at the current layer: (min key, node below).
+    std::vector<std::pair<K, NodeBase*>> entries;
+
+    // Data layer.
+    {
+      const std::uint32_t fill = config_.target_data_vector_size;
+      NodeBase* tail = heads_[0];
+      for (std::size_t i = 0; i < sorted.size(); i += fill) {
+        const std::size_t n = std::min<std::size_t>(fill, sorted.size() - i);
+        const bool orphan = (top == 0);  // single-layer maps: see above
+        auto* node =
+            alloc_node<DataNode, V>(config_.data_capacity(), nullptr, 0,
+                                    /*head=*/false, orphan);
+        for (std::size_t j = 0; j < n; ++j) {
+          node->vec.insert(sorted[i + j].first, sorted[i + j].second);
+        }
+        tail->next.store(node, std::memory_order_release);
+        tail = node;
+        if (top > 0) entries.emplace_back(sorted[i].first, node);
+      }
+    }
+
+    // Index layers, bottom-up.
+    for (std::uint32_t layer = 1; layer <= top && !entries.empty(); ++layer) {
+      const std::uint32_t fill = config_.target_index_vector_size;
+      std::vector<std::pair<K, NodeBase*>> next_entries;
+      NodeBase* tail = heads_[layer];
+      std::size_t i = 0;
+      if (layer == top) {
+        // The head absorbs what fits; the rest become orphan chunks.
+        auto* head = as_index(heads_[layer]);
+        while (i < entries.size() && !head->vec.full()) {
+          head->vec.insert(entries[i].first, entries[i].second);
+          ++i;
+        }
+      }
+      for (; i < entries.size();) {
+        const std::size_t n =
+            std::min<std::size_t>(fill, entries.size() - i);
+        auto* node = alloc_node<IndexNode, NodeBase*>(
+            config_.index_capacity(), nullptr,
+            static_cast<std::uint8_t>(layer),
+            /*head=*/false, /*orphan=*/(layer == top));
+        for (std::size_t j = 0; j < n; ++j) {
+          node->vec.insert(entries[i + j].first, entries[i + j].second);
+        }
+        tail->next.store(node, std::memory_order_release);
+        tail = node;
+        if (layer < top) next_entries.emplace_back(entries[i].first, node);
+        i += n;
+      }
+      entries.swap(next_entries);
+    }
+    approx_size_.store(static_cast<std::int64_t>(sorted.size()),
+                       std::memory_order_relaxed);
+  }
+
+  // ---- Serialization (quiescent) ----------------------------------------------
+  //
+  // Minimal binary snapshot format: magic, element count, then (key, value)
+  // pairs in ascending order. load() into an empty map uses bulk_load, so a
+  // restored map is perfectly packed. Format is host-endian (a snapshot is
+  // a local artifact, not a wire format).
+
+  static constexpr std::uint64_t kSnapshotMagic = 0x53564543544F5231ULL;
+
+  void save(std::ostream& out) const {
+    const std::uint64_t n = size_approx();
+    write_pod(out, kSnapshotMagic);
+    write_pod(out, n);
+    std::uint64_t written = 0;
+    for_each([&](K k, V v) {
+      write_pod(out, k);
+      write_pod(out, v);
+      ++written;
+    });
+    if (written != n) {
+      throw std::logic_error("save() requires quiescence (count drifted)");
+    }
+  }
+
+  // Map must be empty. Throws std::runtime_error on a malformed stream.
+  void load(std::istream& in) {
+    std::uint64_t magic = 0, n = 0;
+    read_pod(in, magic);
+    if (!in || magic != kSnapshotMagic) {
+      throw std::runtime_error("bad snapshot magic");
+    }
+    read_pod(in, n);
+    std::vector<std::pair<K, V>> data;
+    data.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K k{};
+      V v{};
+      read_pod(in, k);
+      read_pod(in, v);
+      if (!in) throw std::runtime_error("truncated snapshot");
+      data.emplace_back(k, v);
+    }
+    bulk_load(data);
+  }
+
+  // ---- Introspection (quiescent unless stated) ------------------------------
+
+  // Approximate element count (maintained with relaxed counters; exact when
+  // quiescent).
+  std::size_t size_approx() const noexcept {
+    const auto s = approx_size_.load(std::memory_order_relaxed);
+    return s < 0 ? 0 : static_cast<std::size_t>(s);
+  }
+
+  // Quiescent: iterate every mapping in ascending key order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const NodeBase* n = heads_[0];
+    while (n != nullptr) {
+      static_cast<const DataNode*>(n)->vec.for_each_ordered(fn);
+      n = n->next.load(std::memory_order_relaxed);
+    }
+  }
+
+  // Rare-event operation counters (relaxed atomics; never on the hot path
+  // of a successful first-try operation).
+  struct OpCounters {
+    std::uint64_t restarts = 0;        // speculative attempts abandoned
+    std::uint64_t orphan_merges = 0;   // lazy merges performed (Fig. 3f->3d)
+    std::uint64_t capacity_splits = 0; // orphan-creating splits (Fig. 3d)
+    std::uint64_t tower_splits = 0;    // per-layer splits by tall inserts
+  };
+  OpCounters counters() const noexcept {
+    return {restarts_.load(std::memory_order_relaxed),
+            orphan_merges_.load(std::memory_order_relaxed),
+            capacity_splits_.load(std::memory_order_relaxed),
+            tower_splits_.load(std::memory_order_relaxed)};
+  }
+
+  struct LayerStats {
+    std::size_t nodes = 0;
+    std::size_t orphans = 0;
+    std::size_t elements = 0;
+    double avg_fill = 0.0;  // elements / capacity over non-head nodes
+  };
+  struct Stats {
+    std::vector<LayerStats> layers;  // [0] = data layer
+    std::size_t bytes = 0;           // linked nodes only
+  };
+
+  // Quiescent: per-layer shape statistics.
+  Stats stats() const {
+    Stats s;
+    s.layers.resize(config_.layer_count);
+    for (std::uint32_t l = 0; l < config_.layer_count; ++l) {
+      auto& ls = s.layers[l];
+      double fill_sum = 0;
+      std::size_t fill_n = 0;
+      for (const NodeBase* n = heads_[l]; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        ls.nodes++;
+        ls.elements += node_size(const_cast<NodeBase*>(n));
+        if (Lock::is_orphan(n->lock.load_relaxed())) ls.orphans++;
+        if (!n->is_head) {
+          fill_sum += static_cast<double>(
+                          node_size(const_cast<NodeBase*>(n))) /
+                      n->capacity;
+          fill_n++;
+        }
+        s.bytes += node_bytes(n);
+      }
+      ls.avg_fill = fill_n ? fill_sum / static_cast<double>(fill_n) : 0.0;
+    }
+    return s;
+  }
+
+  // Quiescent: check every structural invariant. Returns true if the
+  // structure is well formed; otherwise false with a diagnostic in *err.
+  bool validate(std::string* err = nullptr) const {
+    auto fail = [&](const std::string& m) {
+      if (err != nullptr) *err = m;
+      return false;
+    };
+    // Per-layer ordering, size bounds, emptiness rules.
+    for (std::uint32_t l = 0; l < config_.layer_count; ++l) {
+      bool have_prev_max = false;
+      K prev_max{};
+      for (const NodeBase* n = heads_[l]; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        auto* nn = const_cast<NodeBase*>(n);
+        const std::uint32_t sz = node_size(nn);
+        const Word w = n->lock.load_relaxed();
+        if (Lock::is_locked(w) || Lock::is_frozen(w))
+          return fail("node locked/frozen while quiescent");
+        if (n->is_head && Lock::is_orphan(w))
+          return fail("head marked orphan");
+        if (!n->is_head && !Lock::is_orphan(w) && sz == 0)
+          return fail("empty non-orphan node at layer " + std::to_string(l));
+        if (sz > n->capacity) return fail("size exceeds capacity");
+        if (sz > 0) {
+          const K mn = node_min_key(nn);
+          const K mx = node_max_key(nn);
+          if (mx < mn) return fail("max < min");
+          if (have_prev_max && !(prev_max < mn))
+            return fail("inter-node ordering violated at layer " +
+                        std::to_string(l));
+          prev_max = mx;
+          have_prev_max = true;
+          if (!check_unique_keys(nn))
+            return fail("duplicate keys in a chunk at layer " +
+                        std::to_string(l));
+        }
+      }
+    }
+    // Down pointers: each index entry (key, down) targets a non-orphan node
+    // in the layer below whose minimum key equals the entry key; orphans
+    // below have no parent; non-orphan non-head nodes have exactly one.
+    for (std::uint32_t l = config_.layer_count; l-- > 1;) {
+      std::vector<const NodeBase*> below;
+      for (const NodeBase* n = heads_[l - 1]; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        below.push_back(n);
+      }
+      std::vector<int> parent_count(below.size(), 0);
+      auto index_of_node = [&](const NodeBase* target) -> std::ptrdiff_t {
+        for (std::size_t i = 0; i < below.size(); ++i)
+          if (below[i] == target) return static_cast<std::ptrdiff_t>(i);
+        return -1;
+      };
+      for (const NodeBase* n = heads_[l]; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        bool bad = false;
+        std::string why;
+        static_cast<const IndexNode*>(n)->vec.for_each(
+            [&](K k, NodeBase* down) {
+              const std::ptrdiff_t i = index_of_node(down);
+              if (i < 0) {
+                bad = true;
+                why = "down pointer to unlinked node";
+                return;
+              }
+              parent_count[static_cast<std::size_t>(i)]++;
+              auto* dn = const_cast<NodeBase*>(below[i]);
+              if (Lock::is_orphan(dn->lock.load_relaxed())) {
+                bad = true;
+                why = "down pointer to orphan";
+              } else if (node_size(dn) == 0 || node_min_key(dn) != k) {
+                bad = true;
+                why = "down target min != entry key";
+              }
+            });
+        if (n->is_head) {
+          if (n->head_down != heads_[l - 1]) {
+            bad = true;
+            why = "head_down mismatch";
+          }
+        }
+        if (bad) return fail(why + " at layer " + std::to_string(l));
+      }
+      for (std::size_t i = 0; i < below.size(); ++i) {
+        const NodeBase* n = below[i];
+        const bool orphan = Lock::is_orphan(n->lock.load_relaxed());
+        if (n->is_head) {
+          if (parent_count[i] != 0) return fail("head has a parent entry");
+        } else if (orphan) {
+          if (parent_count[i] != 0) return fail("orphan has a parent entry");
+        } else if (parent_count[i] != 1) {
+          return fail("non-orphan has " + std::to_string(parent_count[i]) +
+                      " parent entries at layer " + std::to_string(l - 1));
+        }
+      }
+    }
+    // Every key in an index layer exists in the layer below (and hence in
+    // the data layer).
+    for (std::uint32_t l = 1; l < config_.layer_count; ++l) {
+      for (const NodeBase* n = heads_[l]; n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        bool bad = false;
+        static_cast<const IndexNode*>(n)->vec.for_each(
+            [&](K k, NodeBase* down) {
+              if (node_size(down) == 0 || node_min_key(down) != k) bad = true;
+            });
+        if (bad) return fail("index key missing below");
+      }
+    }
+    return true;
+  }
+
+ private:
+  // ---- Allocation ----------------------------------------------------------
+
+  static constexpr std::size_t align_up(std::size_t x, std::size_t a) {
+    return (x + a - 1) / a * a;
+  }
+
+  template <class NodeType, class P>
+  static NodeType* alloc_node(std::uint32_t cap, NodeBase* down,
+                              std::uint8_t layer, bool head, bool orphan) {
+    const std::size_t keys_off =
+        align_up(sizeof(NodeType), alignof(std::atomic<K>));
+    const std::size_t vals_off = align_up(
+        keys_off + cap * sizeof(std::atomic<K>), alignof(std::atomic<P>));
+    const std::size_t total = vals_off + cap * sizeof(std::atomic<P>);
+    void* mem = ::operator new(total, std::align_val_t{kCacheLineSize});
+    auto* keys =
+        reinterpret_cast<std::atomic<K>*>(static_cast<char*>(mem) + keys_off);
+    auto* vals =
+        reinterpret_cast<std::atomic<P>*>(static_cast<char*>(mem) + vals_off);
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      new (keys + i) std::atomic<K>();
+      new (vals + i) std::atomic<P>();
+    }
+    return new (mem) NodeType(keys, vals, down, cap, layer, head, orphan);
+  }
+
+  static void free_node(void* p) {
+    // Node types are trivially destructible aggregates of atomics.
+    ::operator delete(p, std::align_val_t{kCacheLineSize});
+  }
+
+  template <class T>
+  static void write_pod(std::ostream& out, const T& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  template <class T>
+  static void read_pod(std::istream& in, T& v) {
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  }
+
+  static std::size_t node_bytes(const NodeBase* n) {
+    const std::size_t elem = sizeof(std::atomic<K>) +
+                             (n->layer ? sizeof(std::atomic<NodeBase*>)
+                                       : sizeof(std::atomic<V>));
+    return align_up((n->layer ? sizeof(IndexNode) : sizeof(DataNode)) +
+                        n->capacity * elem,
+                    kCacheLineSize);
+  }
+
+  // ---- Typed access helpers -------------------------------------------------
+
+  static IndexNode* as_index(NodeBase* n) noexcept {
+    return static_cast<IndexNode*>(n);
+  }
+  static DataNode* as_data(NodeBase* n) noexcept {
+    return static_cast<DataNode*>(n);
+  }
+
+  static std::uint32_t node_size(NodeBase* n) noexcept {
+    return n->layer ? as_index(n)->vec.size() : as_data(n)->vec.size();
+  }
+  static K node_min_key(NodeBase* n) noexcept {
+    return n->layer ? as_index(n)->vec.min_key() : as_data(n)->vec.min_key();
+  }
+  static K node_max_key(NodeBase* n) noexcept {
+    return n->layer ? as_index(n)->vec.max_key() : as_data(n)->vec.max_key();
+  }
+  static bool check_unique_keys(NodeBase* n) {
+    std::vector<K> ks;
+    auto collect = [&](K k, auto) { ks.push_back(k); };
+    if (n->layer) {
+      as_index(n)->vec.for_each(collect);
+    } else {
+      as_data(n)->vec.for_each(collect);
+    }
+    std::sort(ks.begin(), ks.end());
+    return std::adjacent_find(ks.begin(), ks.end()) == ks.end();
+  }
+  static void node_merge_from(NodeBase* dst, NodeBase* src) noexcept {
+    if (dst->layer) {
+      as_index(dst)->vec.merge_from(as_index(src)->vec);
+    } else {
+      as_data(dst)->vec.merge_from(as_data(src)->vec);
+    }
+  }
+
+  std::uint32_t merge_threshold(std::uint8_t layer) const noexcept {
+    return layer ? config_.merge_threshold_index()
+                 : config_.merge_threshold_data();
+  }
+
+  // ---- Height generation (§III-A.2) -----------------------------------------
+
+  std::uint32_t random_height() {
+    thread_local Xoshiro256 rng = [] {
+      static std::atomic<std::uint64_t> counter{0x5eed};
+      return Xoshiro256(counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                          std::memory_order_relaxed));
+    }();
+    const std::uint32_t top = config_.layer_count - 1;
+    if (top == 0) return 0;
+    // P(height == 0) = (T_D - 1) / T_D; for T_D == 1 fall back to 1/2 so the
+    // degenerate (classic skip list) configuration keeps a sane shape.
+    const std::uint64_t td = config_.target_data_vector_size;
+    if (td > 1) {
+      if (rng.next_below(td) != 0) return 0;
+    } else {
+      if (rng.next_below(2) != 0) return 0;
+    }
+    // Geometric with p = 1/T_I from 1 to layer_count - 1.
+    const std::uint64_t ti = config_.target_index_vector_size > 1
+                                 ? config_.target_index_vector_size
+                                 : 2;
+    std::uint32_t h = 1;
+    while (h < top && rng.next_below(ti) == 0) ++h;
+    return h;
+  }
+
+  // ---- Speculative traversal (shared by Listings 2-4) ------------------------
+
+  struct Trav {
+    NodeBase* node = nullptr;
+    Word ver = 0;
+    int slot = 0;  // hazard-pointer slot currently protecting `node`
+  };
+
+  // RAII scope marking one logical operation for the reclaimer. Epoch-based
+  // policies pin the calling thread's epoch for the duration (covering every
+  // speculative read, including across restarts); no-op for the others.
+  struct OpGuard {
+    explicit OpGuard(Ctx& c) noexcept : ctx(c) { ctx.begin_op(); }
+    ~OpGuard() { ctx.end_op(); }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+    Ctx& ctx;
+  };
+  static int other_slot(int s) noexcept { return s ^ 1; }
+
+  Trav begin_traversal(Ctx& ctx) {
+    Trav t;
+    t.node = head_;
+    t.slot = 0;
+    ctx.protect(t.slot, t.node);  // heads are immortal, but keep it uniform
+    t.ver = t.node->lock.read_begin();
+    return t;
+  }
+
+  // TraverseRight (Listing 2 lines 23-48). Moves t rightward until t.node is
+  // the floor node for k in its layer, merging empty orphans (any caller)
+  // and under-threshold orphans (mutators). Returns false -> restart.
+  bool traverse_right(Ctx& ctx, Trav& t, K k, bool mutator) {
+    for (;;) {
+      const std::uint32_t sz = node_size(t.node);
+      if (sz != 0 && !(k > node_max_key(t.node))) break;  // speculative stop
+      NodeBase* next = t.node->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // no right sibling (the paper's top sentinel)
+      const int nslot = other_slot(t.slot);
+      ctx.protect(nslot, next);
+      if (!t.node->lock.validate(t.ver)) return false;  // also validates HP
+      const Word next_ver = next->lock.read_begin();
+
+      // Uncommon case: merge/remove nodes left behind by prior Removes
+      // (lines 28-39). Empty orphans are merged by any operation;
+      // under-threshold orphans only by Insert/Remove.
+      const std::uint32_t next_sz = node_size(next);
+      if (Lock::is_orphan(next_ver) &&
+          (next_sz == 0 ||
+           (mutator && sz + next_sz < merge_threshold(t.node->layer))) &&
+          sz + next_sz <= t.node->capacity) {
+        if (!t.node->lock.try_upgrade(t.ver)) return false;
+        if (!next->lock.try_upgrade(next_ver)) {
+          t.node->lock.release();
+          return false;
+        }
+        orphan_merges_.fetch_add(1, std::memory_order_relaxed);
+        node_merge_from(t.node, next);
+        t.node->next.store(next->next.load(std::memory_order_relaxed),
+                           std::memory_order_release);
+        // Release before retiring: `next` is already unlinked while both
+        // locks are held, so no new reader can reach it, and an immediate
+        // reclaimer frees it inside retire().
+        next->lock.release();
+        ctx.retire(next, &free_node);
+        t.ver = t.node->lock.release();
+        ctx.drop(nslot);
+        continue;  // re-evaluate from the (possibly grown) current node
+      }
+
+      if (next_sz == 0 || k < node_min_key(next)) {
+        // Either k belongs here, or speculation saw an inconsistent next;
+        // verify the basis for stopping (line 41).
+        if (!next->lock.validate(next_ver)) return false;
+        if (next_sz == 0) return false;  // empty non-orphan: racing state
+        ctx.drop(nslot);
+        break;
+      }
+      if (!t.node->lock.validate(t.ver)) return false;
+      ctx.drop(t.slot);
+      t = Trav{next, next_ver, nslot};
+    }
+    return true;
+  }
+
+  // ExchangeDown (Listing 2 lines 17-22): hand-over-hand move one layer down.
+  bool exchange_down(Ctx& ctx, Trav& t, NodeBase* down) {
+    const int nslot = other_slot(t.slot);
+    ctx.protect(nslot, down);
+    if (!t.node->lock.validate(t.ver)) return false;
+    const Word down_ver = down->lock.read_begin();
+    if (!t.node->lock.validate(t.ver)) return false;
+    ctx.drop(t.slot);
+    t = Trav{down, down_ver, nslot};
+    return true;
+  }
+
+  // Resolve the downward pointer for k out of index node t.node. Returns
+  // false on inconsistent speculation (caller restarts). Sets *exact if the
+  // chunk holds k itself.
+  bool index_down(Trav& t, K k, NodeBase** down, bool* exact) {
+    const auto fle = as_index(t.node)->vec.find_le(k);
+    if (fle.found) {
+      *down = fle.val;
+      *exact = (fle.key == k);
+      return true;
+    }
+    if (t.node->is_head) {
+      *down = t.node->head_down;
+      *exact = false;
+      return true;
+    }
+    return false;  // non-head with no key <= k: inconsistent speculation
+  }
+
+  // ---- Lookup implementation -------------------------------------------------
+
+  bool try_lookup(Ctx& ctx, K k, std::optional<V>& result) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+    result = as_data(t.node)->vec.get(k);
+    if (!t.node->lock.validate(t.ver)) return false;  // linearization point
+    ctx.drop_all();
+    return true;
+  }
+
+  // ---- Insert implementation -------------------------------------------------
+
+  struct InsertState {
+    std::array<NodeBase*, Config::kMaxLayers> prevs{};
+    // Layers [lowest_frozen, height] are frozen by us; kMaxLayers + 1 means
+    // "nothing frozen yet".
+    std::uint32_t lowest_frozen = Config::kMaxLayers + 1;
+  };
+
+  void thaw_all(InsertState& st, std::uint32_t height) {
+    if (st.lowest_frozen > height) return;
+    for (std::uint32_t l = st.lowest_frozen; l <= height; ++l) {
+      st.prevs[l]->lock.thaw();
+    }
+    st.lowest_frozen = Config::kMaxLayers + 1;
+  }
+
+  bool try_insert(Ctx& ctx, K k, V v, std::uint32_t height, InsertState& st,
+                  bool& result) {
+    const std::uint32_t top = config_.layer_count - 1;
+    Trav t;
+    std::uint32_t layer;
+    bool resumed_at_checkpoint = false;
+
+    if (st.lowest_frozen <= height && st.lowest_frozen >= 1) {
+      // Checkpoint resume (Listing 3 line 14): the lowest node we froze
+      // cannot have changed; restart the descent from it.
+      layer = st.lowest_frozen;
+      t.node = st.prevs[layer];
+      t.slot = 0;
+      ctx.protect(t.slot, t.node);
+      t.ver = t.node->lock.load_relaxed();
+      resumed_at_checkpoint = true;
+    } else if (st.lowest_frozen == 0) {
+      // Data layer already frozen: go straight to the write phase.
+      return insert_write_phase(ctx, k, v, height, st, result);
+    } else {
+      t = begin_traversal(ctx);
+      layer = top;
+    }
+
+    for (; layer >= 1; --layer) {
+      if (!resumed_at_checkpoint) {
+        if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+        if (layer <= height) {
+          if (!t.node->lock.try_freeze(t.ver)) return false;
+          t.ver = t.node->lock.load_relaxed();
+          st.prevs[layer] = t.node;
+          st.lowest_frozen = layer;  // checkpoint
+        }
+      }
+      resumed_at_checkpoint = false;
+
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (exact) {
+        // k already present in an index layer -> the map contains k.
+        if (!t.node->lock.validate(t.ver)) return false;
+        thaw_all(st, height);
+        ctx.drop_all();
+        result = false;
+        return true;
+      }
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+
+    // Data layer.
+    if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+    if (!t.node->lock.try_freeze(t.ver)) return false;
+    st.prevs[0] = t.node;
+    st.lowest_frozen = 0;
+    return insert_write_phase(ctx, k, v, height, st, result);
+  }
+
+  bool insert_write_phase(Ctx& ctx, K k, V v, std::uint32_t height,
+                          InsertState& st, bool& result) {
+    // Everything in prevs[0..height] is frozen by us: reads below are
+    // stable, and upgrade_frozen cannot fail. This phase never restarts.
+    if (as_data(st.prevs[0])->vec.contains(k)) {
+      thaw_all(st, height);
+      ctx.drop_all();
+      result = false;
+      return true;
+    }
+
+    // Build new nodes bottom-up for layers [0, height), each containing k
+    // plus every element of prevs[layer] greater than k (Listing 3 32-39).
+    NodeBase* below = nullptr;
+    for (std::uint32_t layer = 0; layer < height; ++layer) {
+      NodeBase* prev = st.prevs[layer];
+      prev->lock.upgrade_frozen();
+      NodeBase* fresh;
+      if (layer == 0) {
+        auto* dn = alloc_split_node<DataNode, V>(as_data(prev)->vec, k,
+                                                 config_.data_capacity(), 0);
+        as_data(prev)->vec.steal_greater(k, dn->vec);
+        dn->vec.insert(k, v);
+        fresh = dn;
+      } else {
+        auto* in = alloc_split_node<IndexNode, NodeBase*>(
+            as_index(prev)->vec, k, config_.index_capacity(),
+            static_cast<std::uint8_t>(layer));
+        as_index(prev)->vec.steal_greater(k, in->vec);
+        in->vec.insert(k, below);
+        fresh = in;
+      }
+      fresh->next.store(prev->next.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      prev->next.store(fresh, std::memory_order_release);
+      prev->lock.release();
+      tower_splits_.fetch_add(1, std::memory_order_relaxed);
+      below = fresh;
+    }
+
+    // At the chosen height, k joins an existing chunk (lines 40-42),
+    // splitting it at capacity first (creating an orphan, Fig. 3d).
+    NodeBase* prev = st.prevs[height];
+    prev->lock.upgrade_frozen();
+    if (height == 0) {
+      insert_at_top<DataNode, V>(as_data(prev), k, v);
+    } else {
+      insert_at_top<IndexNode, NodeBase*>(as_index(prev), k, below);
+    }
+    prev->lock.release();
+    st.lowest_frozen = Config::kMaxLayers + 1;
+    ctx.drop_all();
+    result = true;
+    return true;
+  }
+
+  // Allocate the right-hand node for a split at key k. Normally the layer's
+  // configured capacity suffices; when the donor is a head whose every
+  // element exceeds k, the stolen suffix plus k can exceed it, so size up
+  // (rare; keeps the "newNode's first element is k" invariant intact).
+  template <class NodeType, class P, class Vec>
+  NodeType* alloc_split_node(const Vec& donor, K k, std::uint32_t cap,
+                             std::uint8_t layer) {
+    std::uint32_t needed = 1;
+    donor.for_each([&](K dk, auto) { needed += (dk > k) ? 1 : 0; });
+    if (needed > cap) cap = needed;
+    return alloc_node<NodeType, P>(cap, nullptr, layer, /*head=*/false,
+                                   /*orphan=*/false);
+  }
+
+  template <class NodeType, class P>
+  void insert_at_top(NodeType* node, K k, P payload) {
+    if (node->vec.full()) {
+      // Capacity split: the new right sibling is an orphan (no parent entry
+      // exists for it; a later merge may fold it back, Fig. 3d). The
+      // sibling must be fully written *before* it is published via next --
+      // it has no lock protection against speculative readers until then.
+      auto* sib = alloc_node<NodeType, P>(node->capacity, nullptr, node->layer,
+                                          /*head=*/false, /*orphan=*/true);
+      capacity_splits_.fetch_add(1, std::memory_order_relaxed);
+      const K sib_min = node->vec.split_half(sib->vec);
+      const bool goes_right = k >= sib_min;
+      if (goes_right) {
+        const bool ok = sib->vec.insert(k, payload);
+        assert(ok);
+        (void)ok;
+      }
+      sib->next.store(node->next.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      node->next.store(sib, std::memory_order_release);
+      if (goes_right) return;
+    }
+    const bool ok = node->vec.insert(k, payload);
+    assert(ok);
+    (void)ok;
+  }
+
+  // ---- Remove implementation -------------------------------------------------
+
+  bool try_remove(Ctx& ctx, K k, bool& result) {
+    Trav t = begin_traversal(ctx);
+    bool found_in_index = false;
+
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (exact) {
+        // k lives in this index layer. If k is the minimum of a non-orphan,
+        // non-head node, k must also exist one layer up -- but we did not
+        // see it there, so a concurrent Insert is mid-flight (Listing 4
+        // line 13): restart. Heads are exempt (conceptual minimum -inf).
+        if (!t.node->is_head && !Lock::is_orphan(t.ver) &&
+            node_min_key(t.node) == k) {
+          return false;
+        }
+        if (!t.node->lock.try_upgrade(t.ver)) return false;
+        found_in_index = true;
+        break;
+      }
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+
+    if (!found_in_index) {
+      // Common case: k is in no index layer (lines 23-34).
+      if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+      if (!t.node->is_head && !Lock::is_orphan(t.ver) &&
+          node_size(t.node) > 0 && node_min_key(t.node) == k) {
+        return false;  // racing Insert placed k here with height > 0
+      }
+      if (!t.node->lock.try_upgrade(t.ver)) return false;
+      result = as_data(t.node)->vec.erase(k);
+      t.node->lock.release();
+      ctx.drop_all();
+      return true;
+    }
+
+    // k found in an index layer: walk the down pointers, removing k from
+    // each layer and orphaning the node below (lines 37-44). Locks are held
+    // top-down pairwise; every node below is reachable only through locked
+    // ancestors, so hazard pointers are unnecessary here.
+    NodeBase* curr = t.node;
+    while (curr->layer > 0) {
+      NodeBase* down = nullptr;
+      const bool erased = as_index(curr)->vec.erase(k, &down);
+      assert(erased && down != nullptr);
+      if (!erased || down == nullptr) {
+        // Unreachable by the §IV-C invariant (the entry was present under
+        // the lock we hold); restart defensively rather than crash.
+        curr->lock.release();
+        return false;
+      }
+      down->lock.acquire();
+      down->lock.set_orphan_locked(true);
+      curr->lock.release();
+      curr = down;
+    }
+    const bool erased = as_data(curr)->vec.erase(k);
+    assert(erased);
+    (void)erased;
+    curr->lock.release();
+    ctx.drop_all();
+    result = true;
+    return true;
+  }
+
+  // ---- Update implementation -------------------------------------------------
+
+  bool try_update(Ctx& ctx, K k, V v, bool& result) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+    if (!t.node->lock.try_upgrade(t.ver)) return false;
+    result = as_data(t.node)->vec.assign(k, v);
+    t.node->lock.release();
+    ctx.drop_all();
+    return true;
+  }
+
+  // ---- Ordered-navigation implementation ---------------------------------------
+
+  bool try_floor(Ctx& ctx, K k, Entry& out) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+    // The positioned node is the floor node: nothing to its right can hold
+    // a key <= k, and (unless it is the head) its minimum is <= k.
+    const auto fle = as_data(t.node)->vec.find_le(k);
+    if (!fle.found && !t.node->is_head) return false;  // torn speculation
+    if (!t.node->lock.validate(t.ver)) return false;
+    out = fle.found ? Entry(std::in_place, fle.key, fle.val) : std::nullopt;
+    ctx.drop_all();
+    return true;
+  }
+
+  bool try_ceiling(Ctx& ctx, K k, Entry& out) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+    return try_scan_forward(ctx, t, k, /*use_k=*/true, out);
+  }
+
+  // From data node t, find the smallest entry (with key >= k when use_k)
+  // in t or any successor, walking hand-over-hand past empty chunks.
+  bool try_scan_forward(Ctx& ctx, Trav t, K k, bool use_k, Entry& out) {
+    for (;;) {
+      const auto e = use_k ? as_data(t.node)->vec.find_ge(k)
+                           : as_data(t.node)->vec.min_entry();
+      if (e.found) {
+        if (!t.node->lock.validate(t.ver)) return false;
+        out = Entry(std::in_place, e.key, e.val);
+        ctx.drop_all();
+        return true;
+      }
+      NodeBase* next = t.node->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        if (!t.node->lock.validate(t.ver)) return false;
+        out = std::nullopt;
+        ctx.drop_all();
+        return true;
+      }
+      const int nslot = other_slot(t.slot);
+      ctx.protect(nslot, next);
+      if (!t.node->lock.validate(t.ver)) return false;
+      const Word next_ver = next->lock.read_begin();
+      // Re-validate AFTER reading next's word (the paper's ExchangeDown
+      // does the same, Listing 2 line 20): it proves next was still linked
+      // when its version was sampled. Otherwise next_ver could be a stable
+      // post-unlink word, and every later validate of next would pass while
+      // its successors are retired under us.
+      if (!t.node->lock.validate(t.ver)) return false;
+      ctx.drop(t.slot);
+      t = Trav{next, next_ver, nslot};
+    }
+  }
+
+  // Walk t to the last node of its layer whose chunk is non-empty (or the
+  // layer head when the whole layer is empty), re-pinning to slot 0.
+  bool rightmost_nonempty(Ctx& ctx, Trav& t) {
+    static_assert(reclaim::HazardDomain::kSlotsPerThread >= 3 ||
+                      !std::is_same_v<Reclaimer, reclaim::HazardReclaimer>,
+                  "rightmost walk needs a third hazard slot");
+    Trav best = t;
+    ctx.protect(2, best.node);
+    best.slot = 2;
+    for (;;) {
+      NodeBase* next = t.node->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      const int nslot = t.slot ^ 1;  // ping-pong within {0, 1}
+      ctx.protect(nslot, next);
+      if (!t.node->lock.validate(t.ver)) return false;
+      const Word next_ver = next->lock.read_begin();
+      // Second validate after sampling next's word -- see try_scan_forward.
+      if (!t.node->lock.validate(t.ver)) return false;
+      t = Trav{next, next_ver, nslot};
+      if (node_size(t.node) > 0) {
+        ctx.protect(2, t.node);
+        best = Trav{t.node, next_ver, 2};
+      }
+    }
+    ctx.protect(0, best.node);  // best stayed protected via slot 2
+    ctx.drop(1);
+    ctx.drop(2);
+    t = Trav{best.node, best.ver, 0};
+    return true;
+  }
+
+  bool try_last(Ctx& ctx, Entry& out) {
+    Trav t = begin_traversal(ctx);
+    for (;;) {
+      if (!rightmost_nonempty(ctx, t)) return false;
+      if (t.node->layer == 0) {
+        const auto me = as_data(t.node)->vec.max_entry();
+        if (!t.node->lock.validate(t.ver)) return false;
+        out = me.found ? Entry(std::in_place, me.key, me.val) : std::nullopt;
+        ctx.drop_all();
+        return true;
+      }
+      const auto me = as_index(t.node)->vec.max_entry();
+      NodeBase* down = nullptr;
+      if (me.found) {
+        down = me.val;
+      } else if (t.node->is_head) {
+        down = t.node->head_down;
+      } else {
+        return false;  // torn speculation: empty non-head after the walk
+      }
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+  }
+
+  // ---- Range implementation ---------------------------------------------------
+
+  // Write-lock the data nodes covering [lo, hi] left to right, call
+  // body(node) on each (body returns its visit count), release all.
+  // Returns the total number of mappings visited.
+  template <class Body>
+  std::size_t range_locked(K lo, K hi, Body&& body) {
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    for (;;) {
+      std::size_t visited = 0;
+      if (try_range(ctx, lo, hi, body, visited)) return visited;
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      backoff.pause();
+    }
+  }
+
+  template <class Body>
+  bool try_range(Ctx& ctx, K lo, K hi, Body& body, std::size_t& visited) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, lo, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, lo, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, lo, /*mutator=*/false)) return false;
+    if (!t.node->lock.try_upgrade(t.ver)) return false;
+    // Growing phase: extend right while the range may continue. While we
+    // hold a node's write lock its successor cannot be unlinked, so the
+    // plain next walk is safe without hazard pointers.
+    std::vector<NodeBase*> locked;
+    locked.push_back(t.node);
+    ctx.drop_all();
+    for (;;) {
+      NodeBase* last = locked.back();
+      NodeBase* next = last->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      const std::uint32_t nsz = node_size(next);
+      if (nsz > 0 && node_min_key(next) > hi) break;
+      next->lock.acquire();
+      locked.push_back(next);
+      if (nsz > 0 && node_max_key(next) > hi) break;
+    }
+    for (NodeBase* n : locked) visited += body(as_data(n));
+    for (NodeBase* n : locked) n->lock.release();
+    return true;
+  }
+
+  // ---- Members ----------------------------------------------------------------
+
+  Config config_;
+  Reclaimer reclaimer_;
+  std::vector<NodeBase*> heads_;  // per layer, [0] = data
+  NodeBase* head_ = nullptr;      // top-layer head (the paper's `head`)
+  std::atomic<std::int64_t> approx_size_{0};
+  mutable std::atomic<std::uint64_t> restarts_{0};
+  mutable std::atomic<std::uint64_t> orphan_merges_{0};
+  mutable std::atomic<std::uint64_t> capacity_splits_{0};
+  mutable std::atomic<std::uint64_t> tower_splits_{0};
+};
+
+// Convenience aliases matching the paper's evaluated variants.
+template <class K, class V>
+using SkipVector = SkipVectorMap<K, V, reclaim::HazardReclaimer,
+                                 vectormap::Layout::kSorted,
+                                 vectormap::Layout::kUnsorted>;  // SV-HP
+
+template <class K, class V>
+using SkipVectorLeak = SkipVectorMap<K, V, reclaim::LeakReclaimer,
+                                     vectormap::Layout::kSorted,
+                                     vectormap::Layout::kUnsorted>;  // SV-Leak
+
+template <class K, class V>
+using SkipVectorSeq = SkipVectorMap<K, V, reclaim::ImmediateReclaimer,
+                                    vectormap::Layout::kSorted,
+                                    vectormap::Layout::kUnsorted>;
+
+}  // namespace sv::core

@@ -1,0 +1,17 @@
+// SkipVectorMap instantiated with epoch-based reclamation (SV-EBR): the
+// deferred-reclamation alternative the paper contrasts hazard pointers
+// against. Separate header so the core stays independent of the epoch
+// machinery.
+#pragma once
+
+#include "core/skip_vector.h"
+#include "reclaim/epoch.h"
+
+namespace sv::core {
+
+template <class K, class V>
+using SkipVectorEpoch = SkipVectorMap<K, V, reclaim::EpochReclaimer,
+                                      vectormap::Layout::kSorted,
+                                      vectormap::Layout::kUnsorted>;
+
+}  // namespace sv::core

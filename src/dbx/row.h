@@ -1,0 +1,58 @@
+// Row storage and per-row latch for the DBx1000-style OLTP engine (the
+// substrate behind the paper's Fig. 6 YCSB experiment).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/hw.h"
+
+namespace sv::dbx {
+
+// Reader/writer spin latch supporting NO_WAIT two-phase locking: lock
+// attempts never block; a failed try aborts the transaction.
+class RowLatch {
+ public:
+  bool try_lock_shared() noexcept {
+    std::int32_t v = state_.load(std::memory_order_relaxed);
+    while (v >= 0) {
+      if (state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void unlock_shared() noexcept {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
+
+  bool try_lock_exclusive() noexcept {
+    std::int32_t expected = 0;
+    return state_.compare_exchange_strong(expected, -1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock_exclusive() noexcept {
+    state_.store(0, std::memory_order_release);
+  }
+
+  // Upgrade is not supported under NO_WAIT; transactions declare access
+  // modes up front (as DBx1000's YCSB driver does).
+
+ private:
+  // 0 = free, >0 = reader count, -1 = writer.
+  std::atomic<std::int32_t> state_{0};
+};
+
+// A fixed-width row: 10 columns of 8 bytes, mirroring DBx1000's YCSB table
+// shape, plus its latch. Cache-line aligned so row latches do not false-share.
+struct alignas(kCacheLineSize) Row {
+  static constexpr int kColumns = 10;
+  RowLatch latch;
+  std::uint64_t cols[kColumns] = {};
+};
+
+}  // namespace sv::dbx

@@ -1,0 +1,21 @@
+#include "dbx/table.h"
+
+namespace sv::dbx {
+
+Table::Table(std::size_t rows_per_slab) : rows_per_slab_(rows_per_slab) {}
+
+Row* Table::allocate_row() {
+  const std::size_t slab = count_ / rows_per_slab_;
+  const std::size_t off = count_ % rows_per_slab_;
+  if (slab == slabs_.size()) {
+    slabs_.push_back(std::make_unique<Row[]>(rows_per_slab_));
+  }
+  ++count_;
+  return &slabs_[slab][off];
+}
+
+Row* Table::row_at(std::size_t i) noexcept {
+  return &slabs_[i / rows_per_slab_][i % rows_per_slab_];
+}
+
+}  // namespace sv::dbx

@@ -1,0 +1,40 @@
+// Slab-allocated in-memory table of fixed-width rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dbx/row.h"
+
+namespace sv::dbx {
+
+// Rows live in large contiguous slabs; row pointers are stable for the
+// table's lifetime (indexes store Row*).
+class Table {
+ public:
+  explicit Table(std::size_t rows_per_slab = 1 << 16);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // Appends a zero-initialized row, returning its stable pointer.
+  Row* allocate_row();
+
+  std::size_t row_count() const noexcept { return count_; }
+
+  // Direct access by insertion order (0-based). Valid while the table lives.
+  Row* row_at(std::size_t i) noexcept;
+
+  std::size_t memory_bytes() const noexcept {
+    return slabs_.size() * rows_per_slab_ * sizeof(Row);
+  }
+
+ private:
+  const std::size_t rows_per_slab_;
+  std::vector<std::unique_ptr<Row[]>> slabs_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sv::dbx

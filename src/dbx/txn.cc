@@ -1,0 +1,12 @@
+#include "dbx/txn.h"
+
+namespace sv::dbx {
+
+std::string TxnStats::to_string() const {
+  return "commits=" + std::to_string(commits) +
+         " aborts=" + std::to_string(aborts) +
+         " abort_rate=" + std::to_string(abort_rate()) +
+         " index_misses=" + std::to_string(index_misses);
+}
+
+}  // namespace sv::dbx

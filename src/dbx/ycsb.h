@@ -1,0 +1,56 @@
+// YCSB-style workload generation for the OLTP engine, mirroring the paper's
+// Fig. 6 setup: each transaction touches kAccessesPerTxn rows, 90 % of
+// accesses are reads, and keys follow a Zipfian distribution with
+// configurable theta.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace sv::dbx {
+
+struct YcsbConfig {
+  std::uint64_t table_rows = 1 << 20;
+  double zipf_theta = 0.6;
+  double read_fraction = 0.9;
+  std::uint32_t accesses_per_txn = 16;
+  // YCSB-E-style scans: fraction of *accesses* that are range scans of
+  // `scan_length` consecutive keys (0 = pure point workload, Fig. 6).
+  double scan_fraction = 0.0;
+  std::uint32_t scan_length = 100;
+};
+
+struct Access {
+  std::uint64_t key;
+  bool is_write;
+  std::uint32_t scan_length = 0;  // > 0: range scan starting at key
+};
+
+struct TxnRequest {
+  std::array<Access, 32> accesses;  // first `count` entries valid
+  std::uint32_t count = 0;
+};
+
+// Per-thread request generator (each thread owns one, seeded distinctly).
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbConfig& cfg, std::uint64_t seed);
+
+  // Fills *req with a fresh transaction. Duplicate keys inside one
+  // transaction are removed (DBx1000 does the same) so NO_WAIT locking
+  // never self-deadlocks on a repeated row.
+  void next(TxnRequest* req);
+
+  const YcsbConfig& config() const noexcept { return cfg_; }
+
+ private:
+  YcsbConfig cfg_;
+  ZipfGenerator zipf_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace sv::dbx

@@ -1,0 +1,27 @@
+// Truncated exponential backoff for restart loops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hw.h"
+
+namespace sv::sync {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t max_spins = 1024) noexcept
+      : limit_(1), max_(max_spins) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < max_) limit_ <<= 1;
+  }
+
+  void reset() noexcept { limit_ = 1; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace sv::sync

@@ -1,0 +1,435 @@
+// VectorMap: the fixed-capacity chunk container of Listing 1 -- two
+// correlated arrays (keys, vals) of capacity 2*targetSize plus a size field.
+//
+// Storage is non-owning: the skip vector allocates each node as one
+// contiguous block [node header | keys | vals] so that scanning a chunk is a
+// linear walk (the locality the paper is about), and hands the array
+// pointers to this view.
+//
+// Elements are std::atomic<K>/std::atomic<V> accessed with relaxed ordering.
+// Mutators run only under the node's write lock; readers run speculatively
+// under a sequence-lock read section and re-validate afterwards, so reads
+// here may observe torn *sets* of elements but never torn elements, and all
+// loops are bounded by `capacity` regardless of what a racing writer does
+// (the termination requirement of §IV-C).
+//
+// Two layout policies (Fig. 7b):
+//   Sorted:   keys ascending; O(log T) lookup, O(T) insert/erase (shifts).
+//   Unsorted: append/swap-with-last; O(T) lookup, O(1) insert/erase writes.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace sv::vectormap {
+
+enum class Layout : std::uint8_t { kSorted, kUnsorted };
+
+template <class K, class V, Layout kLayout>
+class VectorMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_copyable_v<V>,
+                "VectorMap elements must be trivially copyable: they are "
+                "read speculatively under sequence locks");
+
+ public:
+  static constexpr bool kSorted = (kLayout == Layout::kSorted);
+
+  VectorMap(std::atomic<K>* keys, std::atomic<V>* vals,
+            std::uint32_t capacity) noexcept
+      : keys_(keys), vals_(vals), capacity_(capacity), size_(0) {}
+
+  VectorMap(const VectorMap&) = delete;
+  VectorMap& operator=(const VectorMap&) = delete;
+
+  std::uint32_t capacity() const noexcept { return capacity_; }
+
+  // Clamped size: a speculative reader may race with a writer, but must
+  // never index out of bounds.
+  std::uint32_t size() const noexcept {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    return n > capacity_ ? capacity_ : n;
+  }
+  bool empty() const noexcept { return size() == 0; }
+  bool full() const noexcept { return size() >= capacity_; }
+
+  // ---- Speculative-safe reads ---------------------------------------------
+
+  struct FindLE {
+    bool found = false;
+    K key{};
+    V val{};
+  };
+
+  // Largest key <= k and its value ("k/v pair for largest key <= K_k",
+  // Listings 2-4). found == false when every key exceeds k or the chunk is
+  // empty -- the caller then falls back to the head-down pointer or
+  // restarts.
+  FindLE find_le(K k) const noexcept {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      // Binary search for the last key <= k.
+      std::uint32_t lo = 0, hi = n;  // first index with key > k in [lo, hi]
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (load_key(mid) <= k) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == 0) return {};
+      return {true, load_key(lo - 1), load_val(lo - 1)};
+    } else {
+      FindLE best;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki <= k && (!best.found || ki > best.key)) {
+          best = {true, ki, load_val(i)};
+        }
+      }
+      return best;
+    }
+  }
+
+  // Smallest key >= k and its value. found == false when every key is
+  // below k or the chunk is empty.
+  FindLE find_ge(K k) const noexcept {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      std::uint32_t lo = 0, hi = n;  // first index with key >= k
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (load_key(mid) < k) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == n) return {};
+      return {true, load_key(lo), load_val(lo)};
+    } else {
+      FindLE best;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki >= k && (!best.found || ki < best.key)) {
+          best = {true, ki, load_val(i)};
+        }
+      }
+      return best;
+    }
+  }
+
+  // Entry with the smallest / largest key (found == false when empty).
+  FindLE min_entry() const noexcept {
+    const std::uint32_t n = size();
+    if (n == 0) return {};
+    if constexpr (kSorted) {
+      return {true, load_key(0), load_val(0)};
+    } else {
+      FindLE best{true, load_key(0), load_val(0)};
+      for (std::uint32_t i = 1; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki < best.key) best = {true, ki, load_val(i)};
+      }
+      return best;
+    }
+  }
+
+  FindLE max_entry() const noexcept {
+    const std::uint32_t n = size();
+    if (n == 0) return {};
+    if constexpr (kSorted) {
+      return {true, load_key(n - 1), load_val(n - 1)};
+    } else {
+      FindLE best{true, load_key(0), load_val(0)};
+      for (std::uint32_t i = 1; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki > best.key) best = {true, ki, load_val(i)};
+      }
+      return best;
+    }
+  }
+
+  bool contains(K k) const noexcept { return find_index(k) >= 0; }
+
+  std::optional<V> get(K k) const noexcept {
+    const std::int64_t i = find_index(k);
+    if (i < 0) return std::nullopt;
+    return load_val(static_cast<std::uint32_t>(i));
+  }
+
+  // Smallest / largest key. Only meaningful when size() > 0; speculative
+  // callers must validate before trusting the answer.
+  K min_key() const noexcept {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      return n ? load_key(0) : K{};
+    } else {
+      K best{};
+      bool have = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (!have || ki < best) best = ki, have = true;
+      }
+      return best;
+    }
+  }
+
+  K max_key() const noexcept {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      return n ? load_key(n - 1) : K{};
+    } else {
+      K best{};
+      bool have = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (!have || ki > best) best = ki, have = true;
+      }
+      return best;
+    }
+  }
+
+  // ---- Mutators (caller holds the node's write lock) ----------------------
+
+  // Insert a new mapping; the key must not be present. Returns false when
+  // the chunk is at capacity (caller must split first).
+  bool insert(K k, V v) noexcept {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    if (n >= capacity_) return false;
+    if constexpr (kSorted) {
+      std::uint32_t pos = upper_bound(k, n);
+      for (std::uint32_t i = n; i > pos; --i) {
+        store_key(i, load_key(i - 1));
+        store_val(i, load_val(i - 1));
+      }
+      store_key(pos, k);
+      store_val(pos, v);
+    } else {
+      store_key(n, k);
+      store_val(n, v);
+    }
+    size_.store(n + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Overwrite the value of an existing key. Returns false if absent.
+  bool assign(K k, V v) noexcept {
+    const std::int64_t i = find_index(k);
+    if (i < 0) return false;
+    store_val(static_cast<std::uint32_t>(i), v);
+    return true;
+  }
+
+  // Remove k; if found, optionally report its value. Returns false if
+  // absent.
+  bool erase(K k, V* out = nullptr) noexcept {
+    const std::int64_t idx = find_index(k);
+    if (idx < 0) return false;
+    const auto i = static_cast<std::uint32_t>(idx);
+    if (out != nullptr) *out = load_val(i);
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    if constexpr (kSorted) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        store_key(j - 1, load_key(j));
+        store_val(j - 1, load_val(j));
+      }
+    } else {
+      store_key(i, load_key(n - 1));
+      store_val(i, load_val(n - 1));
+    }
+    size_.store(n - 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void clear() noexcept { size_.store(0, std::memory_order_relaxed); }
+
+  // ---- Structural operations (both chunks' write locks held) --------------
+
+  // Move every element with key > pivot into dst (which must be empty and
+  // have sufficient capacity). Used when Insert splits a node at the new
+  // key. Order among chunks is preserved: dst holds the strictly-greater
+  // suffix.
+  template <Layout kOther>
+  void steal_greater(K pivot, VectorMap<K, V, kOther>& dst) noexcept {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    if constexpr (kSorted) {
+      const std::uint32_t pos = upper_bound(pivot, n);
+      for (std::uint32_t i = pos; i < n; ++i) {
+        dst.insert(load_key(i), load_val(i));
+      }
+      size_.store(pos, std::memory_order_relaxed);
+    } else {
+      std::uint32_t w = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        const V vi = load_val(i);
+        if (ki > pivot) {
+          dst.insert(ki, vi);
+        } else {
+          store_key(w, ki);
+          store_val(w, vi);
+          ++w;
+        }
+      }
+      size_.store(w, std::memory_order_relaxed);
+    }
+  }
+
+  // Move the upper half (by key order) into dst; returns dst's minimum key.
+  // Used when an insert finds the chunk at capacity. Requires size() >= 2.
+  template <Layout kOther>
+  K split_half(VectorMap<K, V, kOther>& dst) noexcept {
+    const K med = median_key();
+    steal_greater(med, dst);
+    return dst.min_key();
+  }
+
+  // Append every element of src (whose keys are all greater than ours --
+  // src is our right neighbor). src is left empty.
+  template <Layout kOther>
+  void merge_from(VectorMap<K, V, kOther>& src) noexcept {
+    src.template drain_into<kLayout>(*this);
+  }
+
+  // Implementation helper for merge_from (needs access to src internals).
+  template <Layout kOther>
+  void drain_into(VectorMap<K, V, kOther>& dst) noexcept {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    if constexpr (kSorted) {
+      for (std::uint32_t i = 0; i < n; ++i) dst.insert(load_key(i),
+                                                       load_val(i));
+    } else {
+      // Keys within an unsorted chunk are unordered; appending to a sorted
+      // dst via insert() keeps dst sorted either way.
+      for (std::uint32_t i = 0; i < n; ++i) dst.insert(load_key(i),
+                                                       load_val(i));
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  // Writer-context (or quiescent) iteration in arbitrary order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint32_t n = size();
+    for (std::uint32_t i = 0; i < n; ++i) fn(load_key(i), load_val(i));
+  }
+
+  // Writer-context: replace the value of every mapping with key in
+  // [lo, hi] by fn(key, value), in one pass (unspecified order). Returns
+  // the number of mappings transformed.
+  template <class Fn>
+  std::uint32_t transform_range(K lo, K hi, Fn&& fn) {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    std::uint32_t visited = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const K k = load_key(i);
+      if (lo <= k && k <= hi) {
+        store_val(i, fn(k, load_val(i)));
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  // Quiescent iteration in ascending key order (used by range queries under
+  // write locks, validation, and iteration APIs).
+  template <class Fn>
+  void for_each_ordered(Fn&& fn) const {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      for (std::uint32_t i = 0; i < n; ++i) fn(load_key(i), load_val(i));
+    } else {
+      thread_local std::vector<std::uint32_t> order;
+      order.clear();
+      for (std::uint32_t i = 0; i < n; ++i) order.push_back(i);
+      std::sort(order.begin(), order.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  return load_key(a) < load_key(b);
+                });
+      for (std::uint32_t i : order) fn(load_key(i), load_val(i));
+    }
+  }
+
+ private:
+  template <class, class, Layout>
+  friend class VectorMap;
+
+  K load_key(std::uint32_t i) const noexcept {
+    return keys_[i].load(std::memory_order_relaxed);
+  }
+  V load_val(std::uint32_t i) const noexcept {
+    return vals_[i].load(std::memory_order_relaxed);
+  }
+  void store_key(std::uint32_t i, K k) noexcept {
+    keys_[i].store(k, std::memory_order_relaxed);
+  }
+  void store_val(std::uint32_t i, V v) noexcept {
+    vals_[i].store(v, std::memory_order_relaxed);
+  }
+
+  // First index whose key is > k, assuming sorted layout.
+  std::uint32_t upper_bound(K k, std::uint32_t n) const noexcept {
+    std::uint32_t lo = 0, hi = n;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (load_key(mid) <= k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  // Index of k, or -1.
+  std::int64_t find_index(K k) const noexcept {
+    const std::uint32_t n = size();
+    if constexpr (kSorted) {
+      std::uint32_t lo = 0, hi = n;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        const K km = load_key(mid);
+        if (km == k) return mid;
+        if (km < k) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return -1;
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (load_key(i) == k) return i;
+      }
+      return -1;
+    }
+  }
+
+  // Key such that exactly floor(n/2) elements are <= it (writer context).
+  K median_key() const {
+    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    if constexpr (kSorted) {
+      return load_key((n - 1) / 2);
+    } else {
+      thread_local std::vector<K> scratch;
+      scratch.clear();
+      for (std::uint32_t i = 0; i < n; ++i) scratch.push_back(load_key(i));
+      auto mid = scratch.begin() + (n - 1) / 2;
+      std::nth_element(scratch.begin(), mid, scratch.end());
+      return *mid;
+    }
+  }
+
+  std::atomic<K>* keys_;
+  std::atomic<V>* vals_;
+  const std::uint32_t capacity_;
+  std::atomic<std::uint32_t> size_;
+};
+
+}  // namespace sv::vectormap

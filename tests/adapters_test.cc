@@ -1,0 +1,161 @@
+// Tests for the set and priority-queue adapters, including the concurrent
+// exactly-once pop guarantee.
+#include "core/adapters.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sv::core {
+namespace {
+
+Config Tiny() {
+  Config c;
+  c.layer_count = 4;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+TEST(SkipVectorSet, BasicSemantics) {
+  SkipVectorSet<std::uint64_t> s(Tiny());
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.add(3));
+  EXPECT_FALSE(s.add(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.add(1));
+  EXPECT_TRUE(s.add(7));
+  EXPECT_EQ(s.first().value(), 1u);
+  EXPECT_EQ(s.last().value(), 7u);
+  std::vector<std::uint64_t> keys;
+  s.for_each([&](std::uint64_t k) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 3, 7}));
+  EXPECT_EQ(s.range_for_each(2, 7, [](std::uint64_t) {}), 2u);
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_EQ(s.size_approx(), 2u);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(SkipVectorSet, OracleModelCheck) {
+  SkipVectorSet<std::uint64_t> s(Tiny());
+  std::set<std::uint64_t> oracle;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.next_below(400);
+    switch (rng.next_below(3)) {
+      case 0:
+        ASSERT_EQ(s.add(k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(s.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(s.contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(s.size_approx(), oracle.size());
+}
+
+TEST(PriorityQueue, SequentialOrdering) {
+  SkipVectorPriorityQueue<std::uint64_t, std::uint64_t> pq(Tiny());
+  EXPECT_FALSE(pq.pop_min().has_value());
+  EXPECT_FALSE(pq.peek_min().has_value());
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> oracle;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = rng.next();
+    if (oracle.insert(k).second) {
+      ASSERT_TRUE(pq.push(k, k * 2));
+    }
+  }
+  EXPECT_EQ(pq.peek_min()->first, *oracle.begin());
+  std::uint64_t prev = 0;
+  bool have_prev = false;
+  while (auto e = pq.pop_min()) {
+    EXPECT_EQ(e->second, e->first * 2);
+    if (have_prev) {
+      EXPECT_GT(e->first, prev);
+    }
+    prev = e->first;
+    have_prev = true;
+    ASSERT_EQ(*oracle.begin(), e->first);
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_TRUE(oracle.empty());
+}
+
+TEST(PriorityQueue, ConcurrentPopsClaimExactlyOnce) {
+  SkipVectorPriorityQueue<std::uint64_t, std::uint64_t> pq(Tiny());
+  constexpr std::uint64_t kItems = 8192;
+  for (std::uint64_t k = 0; k < kItems; ++k) ASSERT_TRUE(pq.push(k, k + 1));
+
+  std::mutex mu;
+  std::vector<std::uint64_t> popped;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::uint64_t> local;
+      while (auto e = pq.pop_min()) local.push_back(e->first);
+      std::lock_guard<std::mutex> lk(mu);
+      popped.insert(popped.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(popped.size(), kItems) << "every item popped exactly once";
+  std::sort(popped.begin(), popped.end());
+  for (std::uint64_t k = 0; k < kItems; ++k) ASSERT_EQ(popped[k], k);
+  EXPECT_FALSE(pq.pop_min().has_value());
+}
+
+TEST(PriorityQueue, ProducersAndConsumers) {
+  SkipVectorPriorityQueue<std::uint64_t, std::uint64_t> pq(Tiny());
+  constexpr std::uint64_t kPerProducer = 20000;
+  constexpr unsigned kProducers = 2, kConsumers = 2;
+  std::atomic<std::uint64_t> consumed{0}, produced{0};
+  std::atomic<bool> done_producing{false};
+
+  std::vector<std::thread> threads;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        // Unique priorities: interleave producer id in the low bits.
+        const std::uint64_t k = (i << 1) | p;
+        if (pq.push(k, k)) produced.fetch_add(1);
+      }
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto e = pq.pop_min();
+        if (e) {
+          consumed.fetch_add(1);
+        } else if (done_producing.load()) {
+          // Production has stopped and the queue read empty: one confirming
+          // pop, counting anything that snuck in.
+          auto last = pq.pop_min();
+          if (!last) return;
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (unsigned p = 0; p < kProducers; ++p) threads[p].join();
+  done_producing.store(true);
+  for (unsigned c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  // Drain whatever remains.
+  while (pq.pop_min()) consumed.fetch_add(1);
+  EXPECT_EQ(consumed.load(), produced.load());
+  EXPECT_TRUE(pq.validate());
+}
+
+}  // namespace
+}  // namespace sv::core

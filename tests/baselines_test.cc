@@ -1,0 +1,216 @@
+// Tests for the baseline structures: the four sequential maps of Fig. 1 and
+// the Fraser lock-free skip list (FSL), including oracle model checks and
+// concurrent stress for FSL.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/fraser_skiplist.h"
+#include "baselines/sequential_maps.h"
+#include "common/rng.h"
+
+namespace sv::baselines {
+namespace {
+
+// ---- Sequential baselines: shared model check ------------------------------
+
+template <class Map>
+void ModelCheck(Map& m, std::uint64_t ops, std::uint64_t range,
+                std::uint64_t seed) {
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint64_t k = rng.next_below(range);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(m.insert(k, v), oracle.emplace(k, v).second) << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+        break;
+      default: {
+        auto got = m.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end()) << i;
+        if (got) {
+          ASSERT_EQ(*got, it->second) << i;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(m.size(), oracle.size());
+  auto it = oracle.begin();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, oracle.end());
+}
+
+TEST(SequentialBaselines, UnsortedVectorMap) {
+  UnsortedVectorMap<std::uint64_t, std::uint64_t> m;
+  ModelCheck(m, 20000, 300, 1);
+}
+
+TEST(SequentialBaselines, SortedVectorMap) {
+  SortedVectorMap<std::uint64_t, std::uint64_t> m;
+  ModelCheck(m, 20000, 300, 2);
+}
+
+TEST(SequentialBaselines, StdMapAdapter) {
+  StdMapAdapter<std::uint64_t, std::uint64_t> m;
+  ModelCheck(m, 20000, 300, 3);
+}
+
+TEST(SequentialBaselines, SequentialSkipList) {
+  SequentialSkipList<std::uint64_t, std::uint64_t> m;
+  ModelCheck(m, 20000, 300, 4);
+}
+
+TEST(SequentialBaselines, SkipListWideRange) {
+  SequentialSkipList<std::uint64_t, std::uint64_t> m;
+  ModelCheck(m, 20000, 1u << 28, 5);
+}
+
+// ---- Fraser skip list -------------------------------------------------------
+
+TEST(FraserSkipList, SequentialModelCheck) {
+  FraserSkipList<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(6);
+  for (std::uint64_t i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(400);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(m.insert(k, v), oracle.emplace(k, v).second) << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+        break;
+      default: {
+        auto got = m.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end()) << i;
+        if (got) {
+          ASSERT_EQ(*got, it->second) << i;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(m.validate());
+  auto it = oracle.begin();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, oracle.end());
+}
+
+TEST(FraserSkipList, FullKeyDomainUsable) {
+  FraserSkipList<std::uint64_t, std::uint64_t> m;
+  EXPECT_TRUE(m.insert(0, 1));
+  EXPECT_TRUE(m.insert(~std::uint64_t{0}, 2));
+  EXPECT_EQ(m.lookup(0).value(), 1u);
+  EXPECT_EQ(m.lookup(~std::uint64_t{0}).value(), 2u);
+  EXPECT_TRUE(m.remove(0));
+  EXPECT_TRUE(m.remove(~std::uint64_t{0}));
+}
+
+TEST(FraserSkipList, ContendedInsertExactlyOnce) {
+  FraserSkipList<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kKeys = 2048;
+  const unsigned kThreads = 4;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(10 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t local = 0;
+      for (auto k : keys) local += m.insert(k, k) ? 1 : 0;
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_TRUE(m.validate());
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(m.lookup(k).has_value()) << k;
+  }
+}
+
+TEST(FraserSkipList, ContendedRemoveExactlyOnce) {
+  FraserSkipList<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kKeys = 2048;
+  for (std::uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(m.insert(k, k));
+  const unsigned kThreads = 4;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(20 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t local = 0;
+      for (auto k : keys) local += m.remove(k) ? 1 : 0;
+      wins.fetch_add(local);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_TRUE(m.validate());
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_FALSE(m.lookup(k).has_value()) << k;
+  }
+}
+
+TEST(FraserSkipList, MixedChurnStress) {
+  FraserSkipList<std::uint64_t, std::uint64_t> m;
+  const unsigned kThreads = 4;
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(30 + t);
+      for (std::uint64_t i = 0; i < 60000; ++i) {
+        const std::uint64_t k = rng.next_below(256);
+        switch (rng.next_below(4)) {
+          case 0:
+            m.insert(k, (k << 32) | 1);
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v && (*v >> 32) != k) bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(m.validate());
+}
+
+}  // namespace
+}  // namespace sv::baselines

@@ -1,0 +1,274 @@
+// Tests for the DBx1000-style OLTP substrate: row latches, slab table,
+// YCSB generation (shape + skew), NO_WAIT transaction execution, and a
+// row-level isolation check under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/skip_vector.h"
+#include "dbx/database.h"
+#include "dbx/row.h"
+#include "dbx/table.h"
+#include "dbx/txn.h"
+#include "dbx/ycsb.h"
+
+namespace sv::dbx {
+namespace {
+
+TEST(RowLatch, SharedAndExclusiveModes) {
+  RowLatch l;
+  EXPECT_TRUE(l.try_lock_shared());
+  EXPECT_TRUE(l.try_lock_shared()) << "shared mode must admit many readers";
+  EXPECT_FALSE(l.try_lock_exclusive()) << "writer must fail under readers";
+  l.unlock_shared();
+  EXPECT_FALSE(l.try_lock_exclusive());
+  l.unlock_shared();
+  EXPECT_TRUE(l.try_lock_exclusive());
+  EXPECT_FALSE(l.try_lock_shared()) << "reader must fail under a writer";
+  EXPECT_FALSE(l.try_lock_exclusive());
+  l.unlock_exclusive();
+  EXPECT_TRUE(l.try_lock_shared());
+  l.unlock_shared();
+}
+
+TEST(Table, RowPointersAreStableAcrossSlabGrowth) {
+  Table t(/*rows_per_slab=*/8);
+  std::vector<Row*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    Row* r = t.allocate_row();
+    r->cols[0] = static_cast<std::uint64_t>(i);
+    ptrs.push_back(r);
+  }
+  EXPECT_EQ(t.row_count(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.row_at(i), ptrs[i]);
+    EXPECT_EQ(ptrs[i]->cols[0], static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Ycsb, RequestShapeMatchesConfig) {
+  YcsbConfig cfg;
+  cfg.table_rows = 1000;
+  cfg.accesses_per_txn = 16;
+  cfg.read_fraction = 0.9;
+  YcsbGenerator gen(cfg, 1);
+  TxnRequest req;
+  std::uint64_t writes = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    gen.next(&req);
+    ASSERT_EQ(req.count, 16u);
+    for (std::uint32_t a = 0; a < req.count; ++a) {
+      EXPECT_LT(req.accesses[a].key, cfg.table_rows);
+      if (a > 0) {
+        EXPECT_LT(req.accesses[a - 1].key, req.accesses[a].key)
+            << "accesses must be sorted and duplicate-free";
+      }
+      writes += req.accesses[a].is_write ? 1 : 0;
+      ++total;
+    }
+  }
+  const double write_frac = static_cast<double>(writes) / total;
+  EXPECT_NEAR(write_frac, 0.1, 0.02);
+}
+
+TEST(Ycsb, ZipfSkewControlsHotKeys) {
+  YcsbConfig cfg;
+  cfg.table_rows = 1 << 16;
+  cfg.accesses_per_txn = 1;
+  auto hot_fraction = [&](double theta) {
+    cfg.zipf_theta = theta;
+    YcsbGenerator gen(cfg, 7);
+    TxnRequest req;
+    std::uint64_t hot = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) {
+      gen.next(&req);
+      if (req.accesses[0].key < 64) ++hot;  // top-64 keys
+    }
+    return static_cast<double>(hot) / kSamples;
+  };
+  const double uniform = hot_fraction(0.0);
+  const double mild = hot_fraction(0.6);
+  const double skewed = hot_fraction(0.9);
+  EXPECT_LT(uniform, 0.01);
+  EXPECT_GT(mild, uniform * 5);
+  EXPECT_GT(skewed, mild * 2);
+}
+
+// A trivial index for txn-layer unit tests.
+class VectorIndex {
+ public:
+  explicit VectorIndex(std::size_t n) : rows_(n, nullptr) {}
+  bool insert(std::uint64_t k, Row* r) {
+    rows_[k] = r;
+    return true;
+  }
+  std::optional<Row*> lookup(std::uint64_t k) const {
+    if (k >= rows_.size() || rows_[k] == nullptr) return std::nullopt;
+    return rows_[k];
+  }
+
+ private:
+  std::vector<Row*> rows_;
+};
+
+TEST(Txn, CommitsAndIsolationUnderConcurrency) {
+  // Writers bump all 10 columns of a row inside one exclusive critical
+  // section; readers (shared latch) must always observe all 10 columns
+  // equal. Any torn view is an isolation bug.
+  constexpr std::uint64_t kRows = 64;
+  Table table;
+  VectorIndex index(kRows);
+  for (std::uint64_t k = 0; k < kRows; ++k) {
+    index.insert(k, table.allocate_row());  // all columns start at 0
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      YcsbConfig cfg;
+      cfg.table_rows = kRows;
+      cfg.zipf_theta = 0.9;  // force conflicts
+      cfg.read_fraction = 0.5;
+      cfg.accesses_per_txn = 4;
+      YcsbGenerator gen(cfg, 100 + t);
+      TxnStats stats;
+      TxnRequest req;
+      while (!stop.load(std::memory_order_relaxed)) {
+        gen.next(&req);
+        if (!execute_txn(index, req, &stats)) continue;
+        // Independent isolation probe: read one row under a shared latch.
+        Row* r = *index.lookup(req.accesses[0].key);
+        if (r->latch.try_lock_shared()) {
+          const std::uint64_t first = r->cols[0];
+          for (auto c : r->cols) {
+            if (c != first) torn.fetch_add(1, std::memory_order_relaxed);
+          }
+          r->latch.unlock_shared();
+        }
+      }
+      EXPECT_GT(stats.commits, 0u);
+      EXPECT_EQ(stats.index_misses, 0u);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(torn.load(), 0u) << "shared latch observed a torn row";
+}
+
+TEST(Txn, RunToCompletionRetriesAborts) {
+  Table table;
+  VectorIndex index(4);
+  for (std::uint64_t k = 0; k < 4; ++k) index.insert(k, table.allocate_row());
+  // Hold an exclusive latch briefly from another thread to force aborts.
+  Row* hot = *index.lookup(0);
+  ASSERT_TRUE(hot->latch.try_lock_exclusive());
+  std::thread release([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    hot->latch.unlock_exclusive();
+  });
+  TxnRequest req;
+  req.count = 1;
+  req.accesses[0] = {0, true};
+  TxnStats stats;
+  run_txn_to_completion(index, req, &stats);
+  release.join();
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_GT(stats.aborts, 0u) << "the held latch should have caused aborts";
+}
+
+TEST(Database, EndToEndWithSkipVectorIndex) {
+  // Fig. 6's actual configuration in miniature: SkipVector as the primary
+  // index of the OLTP engine.
+  using Index = core::SkipVector<std::uint64_t, Row*>;
+  YcsbConfig cfg;
+  cfg.table_rows = 1 << 12;
+  cfg.zipf_theta = 0.6;
+  Database<Index> db(cfg, core::Config::for_elements(cfg.table_rows));
+
+  const unsigned kThreads = 4;
+  constexpr std::uint64_t kTxns = 2000;
+  std::vector<TxnStats> stats(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      YcsbGenerator gen(cfg, 500 + t);
+      db.run_worker(gen, kTxns, &stats[t]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  TxnStats total;
+  for (const auto& s : stats) total += s;
+  EXPECT_EQ(total.commits, kThreads * kTxns);
+  EXPECT_EQ(total.index_misses, 0u);
+}
+
+}  // namespace
+}  // namespace sv::dbx
+
+namespace sv::dbx {
+namespace {
+
+TEST(Ycsb, ScanAccessesGeneratedAtConfiguredRate) {
+  YcsbConfig cfg;
+  cfg.table_rows = 10000;
+  cfg.accesses_per_txn = 16;
+  cfg.scan_fraction = 0.25;
+  cfg.scan_length = 50;
+  YcsbGenerator gen(cfg, 3);
+  TxnRequest req;
+  std::uint64_t scans = 0, total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    gen.next(&req);
+    for (std::uint32_t a = 0; a < req.count; ++a) {
+      if (req.accesses[a].scan_length > 0) {
+        ++scans;
+        EXPECT_EQ(req.accesses[a].scan_length, 50u);
+        EXPECT_FALSE(req.accesses[a].is_write);
+      }
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(scans) / total, 0.25, 0.03);
+}
+
+TEST(Database, ScanWorkloadEndToEnd) {
+  // YCSB-E-style: 40% of accesses are 64-row scans through the SkipVector
+  // index; commits must complete and every scan sees latched-consistent
+  // rows (torn rows would trip the isolation stress elsewhere; here we
+  // check progress and accounting).
+  using Index = core::SkipVector<std::uint64_t, Row*>;
+  YcsbConfig cfg;
+  cfg.table_rows = 1 << 12;
+  cfg.zipf_theta = 0.6;
+  cfg.scan_fraction = 0.4;
+  cfg.scan_length = 64;
+  cfg.accesses_per_txn = 4;
+  Database<Index> db(cfg, core::Config::for_elements(cfg.table_rows));
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kTxns = 1500;
+  std::vector<TxnStats> stats(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      YcsbGenerator gen(cfg, 900 + t);
+      db.run_worker(gen, kTxns, &stats[t]);
+    });
+  }
+  for (auto& th : threads) th.join();
+  TxnStats total;
+  for (const auto& s : stats) total += s;
+  EXPECT_EQ(total.commits, kThreads * kTxns);
+  EXPECT_EQ(total.index_misses, 0u);
+}
+
+}  // namespace
+}  // namespace sv::dbx

@@ -1,0 +1,152 @@
+// Differential testing: the skip vector, the Fraser skip list, the
+// coarse-locked std::map, and a std::map oracle all execute the same seeded
+// operation stream and must agree on every result. Parameterized over seeds
+// and skip vector configurations so each instantiation explores a different
+// interleaving of splits, merges, and promotions.
+//
+// Also checks the probabilistic shape claims of §IV-B: with height
+// probability p0 = (T_D-1)/T_D and promotion probability 1/T_I, layer
+// populations shrink geometrically and the layer count stays logarithmic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "baselines/coarse_lock_map.h"
+#include "baselines/fraser_skiplist.h"
+#include "common/rng.h"
+#include "core/skip_vector.h"
+
+namespace sv::core {
+namespace {
+
+using DiffParam = std::tuple<std::uint64_t /*seed*/, std::uint32_t /*t_i*/,
+                             std::uint32_t /*t_d*/>;
+
+class DifferentialTest : public testing::TestWithParam<DiffParam> {};
+
+TEST_P(DifferentialTest, FourWayAgreement) {
+  const auto [seed, t_i, t_d] = GetParam();
+  Config cfg;
+  cfg.target_index_vector_size = t_i;
+  cfg.target_data_vector_size = t_d;
+  cfg.layer_count = 5;
+
+  SkipVectorSeq<std::uint64_t, std::uint64_t> sv(cfg);
+  baselines::FraserSkipList<std::uint64_t, std::uint64_t> fsl;
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> coarse;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 15000; ++i) {
+    const std::uint64_t k = rng.next_below(600);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        const bool expect = oracle.emplace(k, v).second;
+        ASSERT_EQ(sv.insert(k, v), expect) << "sv insert @" << i;
+        ASSERT_EQ(fsl.insert(k, v), expect) << "fsl insert @" << i;
+        ASSERT_EQ(coarse.insert(k, v), expect) << "coarse insert @" << i;
+        break;
+      }
+      case 1: {
+        const bool expect = oracle.erase(k) > 0;
+        ASSERT_EQ(sv.remove(k), expect) << "sv remove @" << i;
+        ASSERT_EQ(fsl.remove(k), expect) << "fsl remove @" << i;
+        ASSERT_EQ(coarse.remove(k), expect) << "coarse remove @" << i;
+        break;
+      }
+      default: {
+        auto it = oracle.find(k);
+        auto a = sv.lookup(k);
+        auto b = fsl.lookup(k);
+        auto c = coarse.lookup(k);
+        const bool expect = it != oracle.end();
+        ASSERT_EQ(a.has_value(), expect) << "sv lookup @" << i;
+        ASSERT_EQ(b.has_value(), expect) << "fsl lookup @" << i;
+        ASSERT_EQ(c.has_value(), expect) << "coarse lookup @" << i;
+        if (expect) {
+          ASSERT_EQ(*a, it->second);
+          ASSERT_EQ(*b, it->second);
+          ASSERT_EQ(*c, it->second);
+        }
+      }
+    }
+  }
+  // Final contents agree, in order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> from_sv, from_fsl;
+  sv.for_each([&](auto k, auto v) { from_sv.emplace_back(k, v); });
+  fsl.for_each([&](auto k, auto v) { from_fsl.emplace_back(k, v); });
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> from_oracle(
+      oracle.begin(), oracle.end());
+  EXPECT_EQ(from_sv, from_oracle);
+  EXPECT_EQ(from_fsl, from_oracle);
+  std::string err;
+  EXPECT_TRUE(sv.validate(&err)) << err;
+  EXPECT_TRUE(fsl.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, DifferentialTest,
+    testing::Values(DiffParam{11, 4, 4}, DiffParam{12, 1, 8},
+                    DiffParam{13, 8, 1}, DiffParam{14, 32, 32},
+                    DiffParam{15, 2, 16}, DiffParam{16, 16, 2},
+                    DiffParam{17, 1, 1}, DiffParam{18, 64, 64},
+                    DiffParam{19, 3, 5}, DiffParam{20, 5, 3},
+                    DiffParam{21, 128, 4}, DiffParam{22, 4, 128},
+                    DiffParam{23, 2, 2}, DiffParam{24, 48, 48}),
+    [](const testing::TestParamInfo<DiffParam>& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param)) + "_TI" +
+             std::to_string(std::get<1>(info.param)) + "_TD" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Probabilistic shape (§IV-B) ---------------------------------------------
+
+TEST(ShapeStatistics, LayerPopulationsShrinkGeometrically) {
+  Config cfg;
+  cfg.target_index_vector_size = 8;
+  cfg.target_data_vector_size = 8;
+  cfg.layer_count = 6;
+  SkipVectorSeq<std::uint64_t, std::uint64_t> m(cfg);
+  constexpr std::uint64_t kN = 200000;
+  for (std::uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k * 31, k));
+
+  auto st = m.stats();
+  ASSERT_EQ(st.layers[0].elements, kN);
+  // E[layer-1 elements] = kN / T_D = kN / 8; each further layer divides by
+  // T_I = 8. Allow generous slack (3x) -- this is a sanity check on the
+  // height generator, not a statistical proof.
+  double expect = static_cast<double>(kN) / 8.0;
+  for (std::uint32_t l = 1; l < cfg.layer_count; ++l) {
+    const auto actual = static_cast<double>(st.layers[l].elements);
+    if (expect >= 50) {
+      EXPECT_GT(actual, expect / 3) << "layer " << l;
+      EXPECT_LT(actual, expect * 3) << "layer " << l;
+    }
+    expect /= 8.0;
+  }
+  // Chunk fill should hover around the halfway point (between splits at 2T
+  // and creation at T): mean fill in (0.25, 1.0).
+  EXPECT_GT(st.layers[0].avg_fill, 0.25);
+  EXPECT_LE(st.layers[0].avg_fill, 1.0);
+}
+
+TEST(ShapeStatistics, DegenerateSkipListShapeHasTallTowers) {
+  // With T_I = T_D = 1 the generator falls back to p = 1/2 (classic skip
+  // list): layer populations should halve.
+  Config cfg = Config::sl_for_elements(1 << 14);
+  SkipVectorSeq<std::uint64_t, std::uint64_t> m(cfg);
+  for (std::uint64_t k = 0; k < (1 << 14); ++k) ASSERT_TRUE(m.insert(k, k));
+  auto st = m.stats();
+  const double l1 = static_cast<double>(st.layers[1].elements);
+  EXPECT_NEAR(l1 / (1 << 14), 0.5, 0.1);
+  if (cfg.layer_count > 2 && st.layers[2].elements > 100) {
+    EXPECT_NEAR(static_cast<double>(st.layers[2].elements) / l1, 0.5, 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace sv::core

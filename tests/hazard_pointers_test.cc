@@ -1,0 +1,190 @@
+// Tests for the hazard-pointer domain: protection semantics, retirement
+// bounds, thread attach/detach lifecycle, and a use-after-retire canary
+// under concurrency.
+#include "reclaim/hazard_pointers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "reclaim/reclaimer.h"
+
+namespace sv::reclaim {
+namespace {
+
+struct Tracked {
+  static std::atomic<std::int64_t> live;
+  std::uint64_t canary = 0xABCDEF;
+  Tracked() { live.fetch_add(1); }
+  ~Tracked() {
+    canary = 0xDEAD;
+    live.fetch_sub(1);
+  }
+  static void deleter(void* p) { delete static_cast<Tracked*>(p); }
+};
+std::atomic<std::int64_t> Tracked::live{0};
+
+TEST(HazardDomain, RetireWithoutProtectionEventuallyFrees) {
+  const std::int64_t before = Tracked::live.load();
+  {
+    HazardDomain d;
+    auto ctx = d.thread_ctx();
+    for (int i = 0; i < 500; ++i) {
+      ctx.retire(new Tracked(), &Tracked::deleter);
+    }
+    d.flush();
+    EXPECT_GT(d.reclaimed_count(), 0u);
+    EXPECT_EQ(Tracked::live.load(), before) << "flush should free everything";
+  }
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+TEST(HazardDomain, ProtectedPointerSurvivesScan) {
+  HazardDomain d;
+  auto ctx = d.thread_ctx();
+  auto* obj = new Tracked();
+  ctx.protect(0, obj);
+  ctx.retire(obj, &Tracked::deleter);
+  d.flush();
+  EXPECT_EQ(obj->canary, 0xABCDEFu) << "protected object was freed";
+  ctx.drop(0);
+  d.flush();
+  // Now unprotected: the flush must have freed it (canary check would be
+  // use-after-free; rely on the live counter instead).
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(HazardDomain, DropAllClearsEverySlot) {
+  HazardDomain d;
+  auto ctx = d.thread_ctx();
+  std::vector<Tracked*> objs;
+  for (int i = 0; i < HazardDomain::kSlotsPerThread; ++i) {
+    objs.push_back(new Tracked());
+    ctx.protect(i, objs.back());
+    ctx.retire(objs.back(), &Tracked::deleter);
+  }
+  d.flush();
+  EXPECT_EQ(Tracked::live.load(), HazardDomain::kSlotsPerThread);
+  ctx.drop_all();
+  d.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(HazardDomain, DomainDestructorFreesPending) {
+  const std::int64_t before = Tracked::live.load();
+  {
+    HazardDomain d;
+    auto ctx = d.thread_ctx();
+    for (int i = 0; i < 10; ++i) ctx.retire(new Tracked(), &Tracked::deleter);
+    // No flush: destructor must free the backlog.
+  }
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+TEST(HazardDomain, ExitedThreadsHandOffRetirementsAndSlots) {
+  HazardDomain d;
+  for (int round = 0; round < 8; ++round) {
+    std::thread([&] {
+      auto ctx = d.thread_ctx();
+      for (int i = 0; i < 5; ++i) ctx.retire(new Tracked(), &Tracked::deleter);
+    }).join();
+  }
+  // Thread records must be reused, not accumulated.
+  EXPECT_LE(d.attached_threads(), 2u);
+  d.flush();
+  EXPECT_EQ(Tracked::live.load(), 0);
+}
+
+TEST(HazardDomain, ManyDomainsPerThread) {
+  // The thread-local cache must route to the right domain.
+  HazardDomain d1, d2;
+  auto c1 = d1.thread_ctx();
+  auto c2 = d2.thread_ctx();
+  auto* a = new Tracked();
+  auto* b = new Tracked();
+  c1.protect(0, a);
+  c2.retire(a, &Tracked::deleter);  // protection lives in d1, not d2!
+  c2.retire(b, &Tracked::deleter);
+  d2.flush();
+  // d2's scan cannot see d1's slots: `a` must have been freed by d2 even
+  // though d1 protects it. That is by design -- protection is per-domain,
+  // and a structure must retire into the same domain that protects.
+  EXPECT_EQ(Tracked::live.load(), 0);
+  c1.drop_all();
+}
+
+// Concurrency canary: readers protect-and-validate objects published in a
+// shared slot map while a reclaimer thread retires them. A freed object's
+// canary flips, so any validated read of a dead canary is a protocol bug.
+TEST(HazardDomainStress, ProtectValidateRace) {
+  HazardDomain d;
+  constexpr int kSlots = 64;
+  struct Slot {
+    std::atomic<Tracked*> ptr{nullptr};
+  };
+  std::vector<Slot> slots(kSlots);
+  for (auto& s : slots) s.ptr.store(new Tracked());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      auto ctx = d.thread_ctx();
+      Xoshiro256 rng(r + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto i = rng.next_below(kSlots);
+        Tracked* p = slots[i].ptr.load(std::memory_order_acquire);
+        ctx.protect(0, p);
+        // Validate: still published? (The structure's seqlock plays this
+        // role in the skip vector.)
+        if (slots[i].ptr.load(std::memory_order_acquire) != p) {
+          ctx.drop(0);
+          continue;
+        }
+        if (p->canary != 0xABCDEF) bad.fetch_add(1);
+        ctx.drop(0);
+      }
+    });
+  }
+  std::thread reclaimer([&] {
+    auto ctx = d.thread_ctx();
+    Xoshiro256 rng(99);
+    for (int i = 0; i < 20000; ++i) {
+      const auto s = rng.next_below(kSlots);
+      Tracked* fresh = new Tracked();
+      Tracked* old = slots[s].ptr.exchange(fresh, std::memory_order_acq_rel);
+      ctx.retire(old, &Tracked::deleter);
+    }
+  });
+  reclaimer.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0u) << "validated read of a freed object";
+  d.flush();
+}
+
+TEST(ReclaimerPolicies, LeakAndImmediateShapes) {
+  // LeakReclaimer: retire is a no-op (nothing freed).
+  const std::int64_t before = Tracked::live.load();
+  LeakReclaimer leak;
+  auto lctx = leak.thread_ctx();
+  auto* kept = new Tracked();
+  lctx.retire(kept, &Tracked::deleter);
+  EXPECT_EQ(Tracked::live.load(), before + 1);
+  delete kept;  // test cleanup
+
+  // ImmediateReclaimer: retire frees synchronously.
+  ImmediateReclaimer imm;
+  auto ictx = imm.thread_ctx();
+  ictx.retire(new Tracked(), &Tracked::deleter);
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+}  // namespace
+}  // namespace sv::reclaim

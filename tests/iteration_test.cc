@@ -1,0 +1,219 @@
+// Tests for the quiescent iterator, clear(), erase_range(), snapshot(),
+// and the latency histogram utility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "benchutil/histogram.h"
+#include "common/rng.h"
+#include "core/skip_vector.h"
+
+namespace sv::core {
+namespace {
+
+using SeqMap = SkipVectorSeq<std::uint64_t, std::uint64_t>;
+
+Config Tiny() {
+  Config c;
+  c.layer_count = 4;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+TEST(Iterator, EmptyMapBeginIsEnd) {
+  SeqMap m(Tiny());
+  EXPECT_TRUE(m.begin() == m.end());
+}
+
+TEST(Iterator, VisitsAllInOrder) {
+  SeqMap m(Tiny());
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 700; ++i) {
+    const std::uint64_t k = rng.next_below(2000);
+    const std::uint64_t v = rng.next();
+    if (m.insert(k, v)) oracle.emplace(k, v);
+  }
+  // Interleave removals so orphans/empty chunks exist on the walk path.
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = rng.next_below(2000);
+    if (m.remove(k)) oracle.erase(k);
+  }
+  auto expect = oracle.begin();
+  for (auto it = m.begin(); it != m.end(); ++it, ++expect) {
+    ASSERT_NE(expect, oracle.end());
+    EXPECT_EQ(it->first, expect->first);
+    EXPECT_EQ((*it).second, expect->second);
+  }
+  EXPECT_EQ(expect, oracle.end());
+  // Range-for works too.
+  std::size_t n = 0;
+  for (const auto& [k, v] : m) {
+    (void)k;
+    (void)v;
+    ++n;
+  }
+  EXPECT_EQ(n, oracle.size());
+}
+
+TEST(Iterator, PostIncrementSemantics) {
+  SeqMap m(Tiny());
+  m.insert(1, 10);
+  m.insert(2, 20);
+  auto it = m.begin();
+  auto old = it++;
+  EXPECT_EQ(old->first, 1u);
+  EXPECT_EQ(it->first, 2u);
+}
+
+TEST(Clear, ResetsToEmptyOperationalMap) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(m.insert(k, k));
+  m.clear();
+  EXPECT_EQ(m.size_approx(), 0u);
+  EXPECT_TRUE(m.begin() == m.end());
+  EXPECT_FALSE(m.lookup(10).has_value());
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+  // Fully usable again.
+  EXPECT_TRUE(m.insert(42, 1));
+  EXPECT_EQ(m.lookup(42).value(), 1u);
+  for (std::uint64_t k = 0; k < 500; ++k) m.insert(k, k);
+  ASSERT_TRUE(m.validate(&err)) << err;
+  EXPECT_EQ(m.size_approx(), 500u);
+}
+
+TEST(EraseRange, RemovesExactlyTheRange) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(m.insert(k, k));
+  EXPECT_EQ(m.erase_range(100, 199), 100u);
+  EXPECT_EQ(m.size_approx(), 200u);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(m.lookup(k).has_value(), k < 100 || k > 199) << k;
+  }
+  EXPECT_EQ(m.erase_range(100, 199), 0u);
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(Snapshot, ConsistentCopy) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 100; k += 2) ASSERT_TRUE(m.insert(k, k * 3));
+  auto snap = m.snapshot(10, 20);
+  ASSERT_EQ(snap.size(), 6u);  // 10, 12, 14, 16, 18, 20
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].first, 10 + 2 * i);
+    EXPECT_EQ(snap[i].second, snap[i].first * 3);
+  }
+}
+
+TEST(Serialization, SaveLoadRoundTrip) {
+  SeqMap m(Tiny());
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 1000; ++i) m.insert(rng.next_below(5000), rng.next());
+  std::stringstream buf;
+  m.save(buf);
+
+  SeqMap restored(Config::for_elements(m.size_approx()));
+  restored.load(buf);
+  std::string err;
+  ASSERT_TRUE(restored.validate(&err)) << err;
+  ASSERT_EQ(restored.size_approx(), m.size_approx());
+  auto it = restored.begin();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_TRUE(it != restored.end());
+    EXPECT_EQ(it->first, k);
+    EXPECT_EQ(it->second, v);
+    ++it;
+  });
+  EXPECT_TRUE(it == restored.end());
+  // Restored map is packed (bulk_load path) and fully operational.
+  EXPECT_TRUE(restored.insert(1 << 20, 1));
+}
+
+TEST(Serialization, LoadRejectsGarbage) {
+  SeqMap m(Tiny());
+  std::stringstream buf("not a snapshot");
+  EXPECT_THROW(m.load(buf), std::runtime_error);
+  // Truncation detection.
+  SeqMap src(Tiny());
+  src.insert(1, 2);
+  src.insert(3, 4);
+  std::stringstream ok;
+  src.save(ok);
+  std::string bytes = ok.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 4));
+  SeqMap dst(Tiny());
+  EXPECT_THROW(dst.load(truncated), std::runtime_error);
+}
+
+TEST(Serialization, EmptyMapRoundTrip) {
+  SeqMap m(Tiny());
+  std::stringstream buf;
+  m.save(buf);
+  SeqMap restored(Tiny());
+  restored.load(buf);
+  EXPECT_EQ(restored.size_approx(), 0u);
+  std::string err;
+  EXPECT_TRUE(restored.validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace sv::core
+
+namespace sv::benchutil {
+namespace {
+
+TEST(LatencyHistogram, ExactBelowSixtyFour) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 10u);
+  EXPECT_EQ(h.max(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreOrderedAndBounded) {
+  LatencyHistogram h;
+  Xoshiro256 rng(2);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.next_below(1 << 20);
+    max_seen = std::max(max_seen, v);
+    h.record(v);
+  }
+  const auto p50 = h.percentile(50);
+  const auto p90 = h.percentile(90);
+  const auto p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_EQ(h.max(), max_seen);
+  // Uniform distribution: p50 within 10% of the midpoint.
+  EXPECT_NEAR(static_cast<double>(p50), (1 << 19), (1 << 19) * 0.1);
+  EXPECT_FALSE(h.summary().empty());
+}
+
+TEST(LatencyHistogram, MergeCombines) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 50; ++i) a.record(100);
+  for (int i = 0; i < 50; ++i) b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_LT(a.percentile(25), 200u);
+  EXPECT_GT(a.percentile(75), 500000u);
+}
+
+TEST(LatencyHistogram, HugeValuesClampToLastBucket) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile(50), 0u);
+}
+
+}  // namespace
+}  // namespace sv::benchutil

@@ -1,0 +1,158 @@
+// Tests for the lock-based lazy skip list baseline: oracle model check,
+// contended exactly-once semantics, mixed churn, and a differential run
+// against the skip vector.
+#include "baselines/lazy_skiplist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/skip_vector.h"
+
+namespace sv::baselines {
+namespace {
+
+TEST(LazySkipList, SequentialModelCheck) {
+  LazySkipList<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(61);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(400);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(m.insert(k, v), oracle.emplace(k, v).second) << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+        break;
+      default: {
+        auto got = m.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end()) << i;
+        if (got) {
+          ASSERT_EQ(*got, it->second) << i;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(m.validate());
+  auto it = oracle.begin();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, oracle.end());
+}
+
+TEST(LazySkipList, FullKeyDomainUsable) {
+  LazySkipList<std::uint64_t, std::uint64_t> m;
+  EXPECT_TRUE(m.insert(0, 1));
+  EXPECT_TRUE(m.insert(~std::uint64_t{0}, 2));
+  EXPECT_EQ(m.lookup(0).value(), 1u);
+  EXPECT_EQ(m.lookup(~std::uint64_t{0}).value(), 2u);
+}
+
+TEST(LazySkipList, ContendedInsertRemoveExactlyOnce) {
+  LazySkipList<std::uint64_t, std::uint64_t> m;
+  constexpr std::uint64_t kKeys = 2048;
+  std::atomic<std::uint64_t> ins{0}, rem{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(40 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t li = 0;
+      for (auto k : keys) li += m.insert(k, k) ? 1 : 0;
+      ins.fetch_add(li);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ins.load(), kKeys);
+  EXPECT_TRUE(m.validate());
+  threads.clear();
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(50 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t lr = 0;
+      for (auto k : keys) lr += m.remove(k) ? 1 : 0;
+      rem.fetch_add(lr);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rem.load(), kKeys);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(LazySkipList, MixedChurnTaggedValues) {
+  LazySkipList<std::uint64_t, std::uint64_t> m;
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(70 + t);
+      for (int i = 0; i < 60000; ++i) {
+        const std::uint64_t k = rng.next_below(256);
+        switch (rng.next_below(4)) {
+          case 0:
+            m.insert(k, (k << 32) | 7);
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v && (*v >> 32) != k) bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(m.validate());
+}
+
+TEST(LazySkipList, DifferentialAgainstSkipVector) {
+  LazySkipList<std::uint64_t, std::uint64_t> lsl;
+  core::SkipVectorSeq<std::uint64_t, std::uint64_t> sv;
+  Xoshiro256 rng(81);
+  for (int i = 0; i < 15000; ++i) {
+    const std::uint64_t k = rng.next_below(500);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(lsl.insert(k, v), sv.insert(k, v)) << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(lsl.remove(k), sv.remove(k)) << i;
+        break;
+      default:
+        ASSERT_EQ(lsl.lookup(k), sv.lookup(k)) << i;
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> a, b;
+  lsl.for_each([&](auto k, auto v) { a.emplace_back(k, v); });
+  sv.for_each([&](auto k, auto v) { b.emplace_back(k, v); });
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sv::baselines

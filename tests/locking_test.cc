@@ -1,0 +1,164 @@
+// Black-box tests of the locking granularity and progress properties:
+// a held range lock must block exactly the covered region (writes to it)
+// while the rest of the map stays fully available -- the fine-grained
+// chunk-level synchronization the paper's design promises. Plus Config
+// validation and sizing tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "core/skip_vector.h"
+
+namespace sv::core {
+namespace {
+
+using Map = SkipVector<std::uint64_t, std::uint64_t>;
+
+Config Tiny() {
+  Config c;
+  c.layer_count = 4;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+TEST(LockingGranularity, RangeLockBlocksOnlyCoveredRegion) {
+  Map m(Tiny());
+  for (std::uint64_t k = 0; k < 1024; ++k) ASSERT_TRUE(m.insert(k, k));
+
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> inside_write_done{false};
+
+  // Holder: a mutating range query over [100, 150] that parks while
+  // holding its write locks.
+  std::thread holder([&] {
+    bool first = true;
+    m.range_transform(100, 150, [&](std::uint64_t, std::uint64_t v) {
+      if (first) {
+        locked.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        first = false;
+      }
+      return v;
+    });
+  });
+  while (!locked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Far-away operations must complete while the range is held.
+  EXPECT_EQ(m.lookup(900).value(), 900u);
+  EXPECT_TRUE(m.insert(2000, 1));
+  EXPECT_TRUE(m.remove(2000));
+  EXPECT_TRUE(m.update(901, 9011));
+  EXPECT_EQ(m.floor(950)->first, 950u);
+  EXPECT_EQ(m.last()->first, 1023u);
+
+  // A write INTO the held region must block until release.
+  std::thread inside_writer([&] {
+    m.update(125, 999);  // 125 is inside [100, 150]
+    inside_write_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(inside_write_done.load(std::memory_order_acquire))
+      << "a write inside a locked range completed while the range was held";
+
+  release.store(true, std::memory_order_release);
+  holder.join();
+  inside_writer.join();
+  EXPECT_TRUE(inside_write_done.load());
+  EXPECT_EQ(m.lookup(125).value(), 999u);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(LockingGranularity, TwoDisjointRangesProceedConcurrently) {
+  Map m(Tiny());
+  for (std::uint64_t k = 0; k < 1024; ++k) ASSERT_TRUE(m.insert(k, 0));
+
+  std::atomic<bool> a_holding{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<bool> release{false};
+
+  std::thread a([&] {
+    bool first = true;
+    m.range_transform(0, 63, [&](std::uint64_t, std::uint64_t v) {
+      if (first) {
+        a_holding.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        first = false;
+      }
+      return v + 1;
+    });
+  });
+  while (!a_holding.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::thread b([&] {
+    m.range_transform(512, 575, [](std::uint64_t, std::uint64_t v) {
+      return v + 1;
+    });
+    b_done.store(true, std::memory_order_release);
+  });
+  // The disjoint range must finish while A still holds its locks.
+  for (int i = 0; i < 2000 && !b_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(b_done.load()) << "disjoint range blocked behind another range";
+  release.store(true, std::memory_order_release);
+  a.join();
+  b.join();
+}
+
+TEST(ConfigValidation, RejectsOutOfRangeParameters) {
+  auto bad = [](auto mutate) {
+    Config c;
+    mutate(c);
+    using M = SkipVectorSeq<std::uint64_t, std::uint64_t>;
+    EXPECT_THROW(M{c}, std::invalid_argument);
+  };
+  bad([](Config& c) { c.layer_count = 0; });
+  bad([](Config& c) { c.layer_count = 33; });
+  bad([](Config& c) { c.target_data_vector_size = 0; });
+  bad([](Config& c) { c.target_index_vector_size = 0; });
+  bad([](Config& c) { c.target_data_vector_size = 5000; });
+  bad([](Config& c) { c.merge_threshold_factor = -1.0; });
+}
+
+TEST(ConfigSizing, LayersForGrowsLogarithmically) {
+  EXPECT_EQ(Config::layers_for(1, 32, 32), 1u);
+  const auto small = Config::layers_for(1ULL << 10, 32, 32);
+  const auto medium = Config::layers_for(1ULL << 20, 32, 32);
+  const auto large = Config::layers_for(1ULL << 30, 32, 32);
+  EXPECT_LE(small, medium);
+  EXPECT_LE(medium, large);
+  EXPECT_LE(large, Config::kMaxLayers);
+  // log_32(2^30 / 32) + 1 = 6: matches the paper's general default of 6
+  // layers being adequate for ~2^30 keys at T=32.
+  EXPECT_EQ(large, 6u);
+  // Degenerate chunk size 1 falls back to p=1/2 shape.
+  EXPECT_GT(Config::layers_for(1ULL << 20, 1, 1), 10u);
+}
+
+TEST(ConfigSizing, DerivedQuantities) {
+  Config c;
+  c.target_data_vector_size = 32;
+  c.target_index_vector_size = 16;
+  c.merge_threshold_factor = 1.67;
+  EXPECT_EQ(c.data_capacity(), 64u);
+  EXPECT_EQ(c.index_capacity(), 32u);
+  EXPECT_EQ(c.merge_threshold_data(), 53u);   // round(1.67 * 32)
+  EXPECT_EQ(c.merge_threshold_index(), 27u);  // round(1.67 * 16)
+  EXPECT_FALSE(c.to_string().empty());
+  EXPECT_EQ(Config::usl_for_elements(1 << 20).target_index_vector_size, 1u);
+  EXPECT_EQ(Config::sl_for_elements(1 << 20).target_data_vector_size, 1u);
+}
+
+}  // namespace
+}  // namespace sv::core

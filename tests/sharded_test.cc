@@ -1,0 +1,150 @@
+// Tests for ShardedSkipVector: routing, cross-shard ranges, navigation,
+// oracle checks, and concurrent stress.
+#include "core/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sv::core {
+namespace {
+
+Config Tiny() {
+  Config c;
+  c.layer_count = 3;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+TEST(Sharded, RejectsBadParameters) {
+  using M = ShardedSkipVector<std::uint64_t, std::uint64_t>;
+  EXPECT_THROW(M(0, 4), std::invalid_argument);
+  EXPECT_THROW(M(100, 0), std::invalid_argument);
+}
+
+TEST(Sharded, OracleModelCheck) {
+  constexpr std::uint64_t kSpace = 1000;
+  ShardedSkipVector<std::uint64_t, std::uint64_t> m(kSpace, 7, Tiny());
+  EXPECT_EQ(m.shard_count(), 7u);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.next_below(kSpace);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(m.insert(k, v), oracle.emplace(k, v).second) << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+        break;
+      case 2: {
+        const std::uint64_t v = rng.next();
+        auto it = oracle.find(k);
+        ASSERT_EQ(m.update(k, v), it != oracle.end()) << i;
+        if (it != oracle.end()) it->second = v;
+        break;
+      }
+      default: {
+        auto got = m.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end()) << i;
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(m.validate());
+  ASSERT_EQ(m.size_approx(), oracle.size());
+  // Global ordered iteration equals oracle.
+  auto it = oracle.begin();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, oracle.end());
+  // first()/last() across shards.
+  if (!oracle.empty()) {
+    EXPECT_EQ(m.first()->first, oracle.begin()->first);
+    EXPECT_EQ(m.last()->first, oracle.rbegin()->first);
+  }
+}
+
+TEST(Sharded, CrossShardRangeQueries) {
+  constexpr std::uint64_t kSpace = 256;
+  ShardedSkipVector<std::uint64_t, std::uint64_t> m(kSpace, 4, Tiny());
+  for (std::uint64_t k = 0; k < kSpace; ++k) ASSERT_TRUE(m.insert(k, 0));
+  // A range spanning all four shards.
+  std::uint64_t prev = 0;
+  bool first_cb = true, ordered = true;
+  const std::size_t n = m.range_for_each(10, 250, [&](std::uint64_t k, auto) {
+    if (!first_cb && k <= prev) ordered = false;
+    prev = k;
+    first_cb = false;
+  });
+  EXPECT_EQ(n, 241u);
+  EXPECT_TRUE(ordered);
+  // Mutating range across shard boundaries.
+  EXPECT_EQ(m.range_transform(60, 70, [](auto, auto v) { return v + 9; }),
+            11u);
+  std::uint64_t touched = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    if (v == 9) {
+      ++touched;
+      EXPECT_GE(k, 60u);
+      EXPECT_LE(k, 70u);
+    }
+  });
+  EXPECT_EQ(touched, 11u);
+  // Clamping beyond the key space.
+  EXPECT_EQ(m.range_for_each(250, 1 << 20, [](auto, auto) {}), 6u);
+}
+
+TEST(Sharded, ConcurrentStressPerShardIsolation) {
+  constexpr std::uint64_t kSpace = 1024;
+  ShardedSkipVector<std::uint64_t, std::uint64_t> m(kSpace, 8, Tiny());
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t + 11);
+      for (int i = 0; i < 40000; ++i) {
+        const std::uint64_t k = rng.next_below(kSpace);
+        switch (rng.next_below(4)) {
+          case 0:
+            m.insert(k, (k << 32) | 1);
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          case 2: {
+            auto v = m.lookup(k);
+            if (v && (*v >> 32) != k) bad.fetch_add(1);
+            break;
+          }
+          default:
+            m.range_for_each(k, k + 100, [&](std::uint64_t kk,
+                                             std::uint64_t vv) {
+              if ((vv >> 32) != kk) bad.fetch_add(1);
+            });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(m.validate());
+}
+
+}  // namespace
+}  // namespace sv::core

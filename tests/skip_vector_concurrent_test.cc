@@ -1,0 +1,466 @@
+// Concurrent correctness tests for SkipVectorMap: multi-threaded stress with
+// value tagging (torn-read detection), disjoint-partition oracles, contended
+// insert/remove accounting, hazard-pointer reclamation bounds, and range
+// query serializability.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/skip_vector.h"
+
+namespace sv::core {
+namespace {
+
+using vectormap::Layout;
+using MapHP = SkipVector<std::uint64_t, std::uint64_t>;
+using MapLeak = SkipVectorLeak<std::uint64_t, std::uint64_t>;
+
+Config SmallChunks() {
+  Config c;
+  c.layer_count = 5;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+unsigned StressThreads() {
+  // Oversubscribe a little so single-core machines still interleave.
+  const unsigned hw = hardware_threads();
+  return hw >= 4 ? hw : 4;
+}
+
+// Values encode the key in their upper 32 bits; any lookup returning a
+// mismatched tag proves a torn or misrouted read.
+std::uint64_t TagFor(std::uint64_t key, std::uint64_t payload) {
+  return (key << 32) | (payload & 0xFFFFFFFFu);
+}
+
+TEST(SkipVectorConcurrent, MixedOpsTaggedValues) {
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kRange = 256;
+  const unsigned kThreads = StressThreads();
+  constexpr std::uint64_t kOpsPerThread = 60000;
+  std::atomic<std::uint64_t> bad_tags{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.next_below(kRange);
+        switch (rng.next_below(10)) {
+          case 0:
+          case 1:
+          case 2:
+            m.insert(k, TagFor(k, rng.next()));
+            break;
+          case 3:
+          case 4:
+            m.remove(k);
+            break;
+          case 5:
+            m.update(k, TagFor(k, rng.next()));
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v && (*v >> 32) != k) {
+              bad_tags.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad_tags.load(), 0u) << "lookup returned a value for another key";
+
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+  // Every surviving mapping must be in range and correctly tagged.
+  std::size_t n = 0;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    EXPECT_LT(k, kRange);
+    EXPECT_EQ(v >> 32, k);
+    ++n;
+  });
+  EXPECT_EQ(n, m.size_approx());
+}
+
+TEST(SkipVectorConcurrent, DisjointPartitionsMatchPerThreadOracles) {
+  // Each thread owns a disjoint key partition and maintains a private
+  // oracle; concurrent activity in other partitions must not disturb it.
+  // Partitions are interleaved modulo the thread count so that every chunk
+  // holds keys of many threads (maximum inter-thread chunk contention).
+  MapHP m(SmallChunks());
+  const unsigned kThreads = StressThreads();
+  constexpr std::uint64_t kOpsPerThread = 40000;
+  constexpr std::uint64_t kKeysPerThread = 128;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> oracles(kThreads);
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& oracle = oracles[t];
+      Xoshiro256 rng(77 + t);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.next_below(kKeysPerThread) * kThreads + t;
+        switch (rng.next_below(3)) {
+          case 0: {
+            const std::uint64_t v = TagFor(k, rng.next());
+            const bool expect = oracle.emplace(k, v).second;
+            if (m.insert(k, v) != expect) {
+              violations.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case 1: {
+            const bool expect = oracle.erase(k) > 0;
+            if (m.remove(k) != expect) {
+              violations.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          default: {
+            auto it = oracle.find(k);
+            auto got = m.lookup(k);
+            const bool match =
+                got.has_value() == (it != oracle.end()) &&
+                (!got || *got == it->second);
+            if (!match) violations.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0u);
+
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+  // Union of oracles == final contents.
+  std::map<std::uint64_t, std::uint64_t> expected;
+  for (const auto& o : oracles) expected.insert(o.begin(), o.end());
+  std::map<std::uint64_t, std::uint64_t> actual;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) { actual.emplace(k, v); });
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(SkipVectorConcurrent, ContendedInsertExactlyOnce) {
+  // All threads race to insert the same keys: each key admits exactly one
+  // winner, and afterwards every key is present.
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kKeys = 4096;
+  const unsigned kThreads = StressThreads();
+  std::atomic<std::uint64_t> wins{0};
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(5 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      // Shuffle per thread so contention hits every region.
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t local = 0;
+      for (auto k : keys) local += m.insert(k, TagFor(k, t)) ? 1 : 0;
+      wins.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(m.size_approx(), kKeys);
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(m.lookup(k).has_value()) << k;
+  }
+}
+
+TEST(SkipVectorConcurrent, ContendedRemoveExactlyOnce) {
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kKeys = 4096;
+  const unsigned kThreads = StressThreads();
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(m.insert(k, TagFor(k, 0)));
+  }
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(31 + t);
+      std::vector<std::uint64_t> keys(kKeys);
+      for (std::uint64_t k = 0; k < kKeys; ++k) keys[k] = k;
+      for (std::uint64_t i = kKeys; i > 1; --i) {
+        std::swap(keys[i - 1], keys[rng.next_below(i)]);
+      }
+      std::uint64_t local = 0;
+      for (auto k : keys) local += m.remove(k) ? 1 : 0;
+      wins.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(m.size_approx(), 0u);
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+  std::size_t n = 0;
+  m.for_each([&](std::uint64_t, std::uint64_t) { ++n; });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(SkipVectorConcurrent, InsertRemoveChurnKeepsStructureValid) {
+  // Heavy 0/50/50-style churn (the paper's worst case, Fig. 5) on a small
+  // key range, then full validation.
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kRange = 64;  // maximum chunk contention
+  const unsigned kThreads = StressThreads();
+  constexpr std::uint64_t kOpsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(900 + t);
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t k = rng.next_below(kRange);
+        if (rng.next_below(2) == 0) {
+          m.insert(k, TagFor(k, rng.next()));
+        } else {
+          m.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    EXPECT_LT(k, kRange);
+    EXPECT_EQ(v >> 32, k);
+  });
+}
+
+TEST(SkipVectorConcurrent, HazardPointersReclaimUnderChurn) {
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kRange = 512;
+  const unsigned kThreads = StressThreads();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(4242 + t);
+      for (std::uint64_t i = 0; i < 60000; ++i) {
+        const std::uint64_t k = rng.next_below(kRange);
+        if (rng.next_below(2) == 0) {
+          m.insert(k, TagFor(k, i));
+        } else {
+          m.remove(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto& domain = m.reclaimer().domain();
+  // Churn at T_D=4 with a tiny key range forces many splits and merges;
+  // reclamation must actually have happened, and after a flush the pending
+  // backlog must respect the hazard-pointer bound.
+  domain.flush();
+  EXPECT_GT(domain.reclaimed_count(), 0u)
+      << "merges should have retired and reclaimed nodes";
+  EXPECT_LE(domain.retired_count(),
+            domain.attached_threads() * reclaim::HazardDomain::kSlotsPerThread)
+      << "post-quiesce backlog exceeds the HP protection bound";
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(SkipVectorConcurrent, LeakReclaimerVariantRunsClean) {
+  // SV-Leak: same algorithm, no reclamation. Must survive identical churn.
+  MapLeak m(SmallChunks());
+  constexpr std::uint64_t kRange = 256;
+  const unsigned kThreads = StressThreads();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(111 + t);
+      for (std::uint64_t i = 0; i < 40000; ++i) {
+        const std::uint64_t k = rng.next_below(kRange);
+        switch (rng.next_below(3)) {
+          case 0:
+            m.insert(k, TagFor(k, i));
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default:
+            m.lookup(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(SkipVectorConcurrent, RangeTransformIsAtomic) {
+  // Writers repeatedly stamp every value in the range with a fresh tag via
+  // one mutating range query; serializability means a range read must never
+  // observe two different tags.
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kKeys = 512;
+  for (std::uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(m.insert(k, 0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> mixed_snapshots{0};
+  std::atomic<std::uint64_t> snapshots{0};
+
+  std::vector<std::thread> writers;
+  const unsigned kWriters = 2;
+  for (unsigned t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      std::uint64_t tag = t + 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t stamp = (tag << 8) | t;
+        m.range_transform(0, kKeys - 1,
+                          [&](std::uint64_t, std::uint64_t) { return stamp; });
+        tag += kWriters;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t first = 0;
+        bool have_first = false;
+        bool mixed = false;
+        std::size_t count = 0;
+        m.range_for_each(0, kKeys - 1,
+                         [&](std::uint64_t, std::uint64_t v) {
+                           ++count;
+                           if (!have_first) {
+                             first = v;
+                             have_first = true;
+                           } else if (v != first) {
+                             mixed = true;
+                           }
+                         });
+        if (count != kKeys || mixed) {
+          mixed_snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  for (auto& th : readers) th.join();
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_EQ(mixed_snapshots.load(), 0u)
+      << "a range query observed a partially applied range transform";
+}
+
+TEST(SkipVectorConcurrent, RangeQueriesDuringStructuralChurn) {
+  // Range reads while inserts/removes reshape the covered chunks: counts
+  // must be plausible and every observed key in range and correctly tagged.
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kRange = 1024;
+  // Half the keys always present (never removed), the rest churn.
+  for (std::uint64_t k = 0; k < kRange; k += 2) {
+    ASSERT_TRUE(m.insert(k, TagFor(k, 7)));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+
+  std::vector<std::thread> churners;
+  for (unsigned t = 0; t < 2; ++t) {
+    churners.emplace_back([&, t] {
+      Xoshiro256 rng(5555 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_below(kRange / 2) * 2 + 1;  // odd
+        if (rng.next_below(2) == 0) {
+          m.insert(k, TagFor(k, rng.next()));
+        } else {
+          m.remove(k);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> scanners;
+  for (unsigned t = 0; t < 2; ++t) {
+    scanners.emplace_back([&, t] {
+      Xoshiro256 rng(31337 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t lo = rng.next_below(kRange / 2);
+        const std::uint64_t hi = lo + rng.next_below(kRange - lo);
+        std::uint64_t evens_seen = 0;
+        m.range_for_each(lo, hi, [&](std::uint64_t k, std::uint64_t v) {
+          if (k < lo || k > hi || (v >> 32) != k) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (k % 2 == 0) ++evens_seen;
+        });
+        // All permanently-present even keys in [lo, hi] must be seen.
+        const std::uint64_t expect_evens = hi / 2 - (lo + 1) / 2 + 1;
+        if (evens_seen != expect_evens) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  stop.store(true);
+  for (auto& th : churners) th.join();
+  for (auto& th : scanners) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(SkipVectorConcurrent, SortedSortedLayoutUnderStress) {
+  // Fig. 7b's alternative layouts must be just as correct.
+  SkipVectorMap<std::uint64_t, std::uint64_t, reclaim::HazardReclaimer,
+                Layout::kUnsorted, Layout::kSorted>
+      m(SmallChunks());
+  const unsigned kThreads = StressThreads();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(64 + t);
+      for (std::uint64_t i = 0; i < 30000; ++i) {
+        const std::uint64_t k = rng.next_below(200);
+        switch (rng.next_below(3)) {
+          case 0:
+            m.insert(k, TagFor(k, i));
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v) {
+              EXPECT_EQ(*v >> 32, k);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace sv::core

@@ -1,0 +1,201 @@
+// Tests for supporting components: the coarse-lock baseline, the benchmark
+// driver utilities (options parsing, prefill, mix runner), and the
+// statistical generators (xoshiro, Zipf).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/coarse_lock_map.h"
+#include "benchutil/driver.h"
+#include "benchutil/options.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace sv {
+namespace {
+
+// ---- CoarseLockMap ------------------------------------------------------------
+
+TEST(CoarseLockMap, SequentialOracle) {
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.next_below(200);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const auto v = rng.next();
+        ASSERT_EQ(m.insert(k, v), oracle.emplace(k, v).second);
+        break;
+      }
+      case 1:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0);
+        break;
+      case 2: {
+        const auto v = rng.next();
+        auto it = oracle.find(k);
+        ASSERT_EQ(m.update(k, v), it != oracle.end());
+        if (it != oracle.end()) it->second = v;
+        break;
+      }
+      default: {
+        auto got = m.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end());
+        if (got) {
+          ASSERT_EQ(*got, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(m.size(), oracle.size());
+}
+
+TEST(CoarseLockMap, ConcurrentSmoke) {
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> m;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> bad{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t k = rng.next_below(128);
+        switch (rng.next_below(3)) {
+          case 0:
+            m.insert(k, (k << 32) | 1);
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v && (*v >> 32) != k) bad.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(CoarseLockMap, RangeOps) {
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.insert(k, 0);
+  EXPECT_EQ(m.range_transform(10, 19, [](auto, auto v) { return v + 5; }),
+            10u);
+  std::uint64_t sum = 0;
+  EXPECT_EQ(m.range_for_each(0, 99, [&](auto, auto v) { sum += v; }), 100u);
+  EXPECT_EQ(sum, 50u);
+}
+
+// ---- Options parsing -------------------------------------------------------------
+
+TEST(Options, ParsesFormsAndDefaults) {
+  const char* argv[] = {"prog",          "--key-range=2^20", "--seconds=1.5",
+                        "--name=sv",     "--flagged",        "--sizes=1,2,4K",
+                        "--threads=8"};
+  benchutil::Options opt(7, const_cast<char**>(argv));
+  EXPECT_EQ(opt.u64("key-range", 0), 1u << 20);
+  EXPECT_EQ(opt.u64("threads", 0), 8u);
+  EXPECT_EQ(opt.u64("absent", 42), 42u);
+  EXPECT_DOUBLE_EQ(opt.f64("seconds", 0), 1.5);
+  EXPECT_EQ(opt.str("name", ""), "sv");
+  EXPECT_TRUE(opt.flag("flagged"));
+  EXPECT_FALSE(opt.flag("not-flagged"));
+  const auto sizes = opt.u64_list("sizes", {});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 4096u);
+  EXPECT_FALSE(opt.help_requested());
+}
+
+TEST(Options, SuffixesAndHelp) {
+  EXPECT_EQ(benchutil::Options::parse_u64("3K"), 3072u);
+  EXPECT_EQ(benchutil::Options::parse_u64("2M"), 2u << 20);
+  EXPECT_EQ(benchutil::Options::parse_u64("1G"), 1u << 30);
+  EXPECT_EQ(benchutil::Options::parse_u64("2^31"), 1ull << 31);
+  EXPECT_THROW(benchutil::Options::parse_u64("12Q"), std::invalid_argument);
+  const char* argv[] = {"prog", "--help"};
+  benchutil::Options opt(2, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.help_requested());
+}
+
+// ---- RNG / Zipf ----------------------------------------------------------------------
+
+TEST(Rng, UniformBelowBoundAndDeterministic) {
+  Xoshiro256 a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    if (x != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+  Xoshiro256 r(7);
+  std::uint64_t buckets[10] = {};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = r.next_below(10);
+    ASSERT_LT(v, 10u);
+    buckets[v]++;
+  }
+  for (auto b10 : buckets) {
+    EXPECT_NEAR(static_cast<double>(b10), 10000.0, 600.0);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfGenerator z(1000, 0.0, 3);
+  std::uint64_t hot = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (z.next() < 10) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / 50000.0, 0.01, 0.005);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  ZipfGenerator z(1 << 20, 0.99, 3);
+  std::uint64_t hot = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (z.next() < 100) ++hot;
+  }
+  // With theta=0.99 over 1M keys, the top-100 keys draw a large share.
+  EXPECT_GT(static_cast<double>(hot) / 50000.0, 0.25);
+}
+
+TEST(Zipf, StaysInRange) {
+  for (double theta : {0.0, 0.5, 0.9, 0.99}) {
+    ZipfGenerator z(64, theta, 9);
+    for (int i = 0; i < 10000; ++i) ASSERT_LT(z.next(), 64u) << theta;
+  }
+}
+
+// ---- Benchmark driver -----------------------------------------------------------------
+
+TEST(Driver, PrefillReachesHalf) {
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> m;
+  benchutil::prefill_half(m, 1 << 12, 3);
+  EXPECT_EQ(m.size(), (1u << 12) / 2);
+}
+
+TEST(Driver, MixRunsAndCounts) {
+  baselines::CoarseLockMap<std::uint64_t, std::uint64_t> m;
+  benchutil::prefill_half(m, 1 << 10, 2);
+  auto r = benchutil::run_mix(m, benchutil::MixSpec{80, 10, 10}, 1 << 10,
+                              /*threads=*/2, /*seconds=*/0.1);
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_EQ(r.ops, r.lookups + r.inserts + r.removes);
+  EXPECT_GT(r.seconds, 0.05);
+  EXPECT_GT(r.mops(), 0.0);
+  // Mix ratios approximately honored.
+  const double lf = static_cast<double>(r.lookups) / r.ops;
+  EXPECT_NEAR(lf, 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace sv

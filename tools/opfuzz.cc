@@ -1,0 +1,199 @@
+// opfuzz: byte-string-driven operation fuzzer for the skip vector.
+//
+// Interprets a byte stream (stdin, a file, or an internal PRNG round) as a
+// sequence of map operations executed against a std::map oracle, asserting
+// agreement after every step and validating the structure periodically.
+// The fixed byte->operation mapping makes any failure a replayable,
+// shareable artifact, and the binary is directly usable as an AFL/honggfuzz
+// target (file-input mode) without requiring libFuzzer at build time.
+//
+//   build/tools/opfuzz --rounds=1000            # PRNG self-fuzz
+//   build/tools/opfuzz --input=crash.bin        # replay a byte string
+//   afl-fuzz -i seeds -o out -- build/tools/opfuzz --input=@@
+//
+// Byte grammar (2 bytes per op):  [op | config-nibble] [key]
+//   op % 8: 0,1 insert; 2 remove; 3 update; 4 lookup; 5 floor/ceiling;
+//           6 range_for_each; 7 erase_range-ish (range_transform)
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchutil/options.h"
+#include "common/rng.h"
+#include "core/skip_vector.h"
+
+namespace {
+
+using Map = sv::core::SkipVectorSeq<std::uint64_t, std::uint64_t>;
+
+int g_failures = 0;
+
+#define FUZZ_CHECK(cond, what)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "MISMATCH at op %zu: %s\n", step, what);  \
+      ++g_failures;                                                  \
+      return false;                                                  \
+    }                                                                \
+  } while (0)
+
+bool run_bytes(const std::vector<std::uint8_t>& bytes,
+               const sv::core::Config& cfg) {
+  Map map(cfg);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::uint64_t value_seq = 1;
+
+  for (std::size_t step = 0; step + 1 < bytes.size(); step += 2) {
+    const std::uint8_t op = bytes[step] % 8;
+    const std::uint64_t k = bytes[step + 1];
+    switch (op) {
+      case 0:
+      case 1: {
+        const std::uint64_t v = value_seq++;
+        const bool expect = oracle.emplace(k, v).second;
+        FUZZ_CHECK(map.insert(k, v) == expect, "insert result");
+        break;
+      }
+      case 2:
+        FUZZ_CHECK(map.remove(k) == (oracle.erase(k) > 0), "remove result");
+        break;
+      case 3: {
+        const std::uint64_t v = value_seq++;
+        auto it = oracle.find(k);
+        const bool expect = it != oracle.end();
+        if (expect) it->second = v;
+        FUZZ_CHECK(map.update(k, v) == expect, "update result");
+        break;
+      }
+      case 4: {
+        auto got = map.lookup(k);
+        auto it = oracle.find(k);
+        FUZZ_CHECK(got.has_value() == (it != oracle.end()), "lookup presence");
+        if (got) FUZZ_CHECK(*got == it->second, "lookup value");
+        break;
+      }
+      case 5: {
+        auto fl = map.floor(k);
+        auto ub = oracle.upper_bound(k);
+        if (ub == oracle.begin()) {
+          FUZZ_CHECK(!fl.has_value(), "floor on empty prefix");
+        } else {
+          FUZZ_CHECK(fl.has_value() && fl->first == std::prev(ub)->first,
+                     "floor key");
+        }
+        auto ce = map.ceiling(k);
+        auto lb = oracle.lower_bound(k);
+        if (lb == oracle.end()) {
+          FUZZ_CHECK(!ce.has_value(), "ceiling past end");
+        } else {
+          FUZZ_CHECK(ce.has_value() && ce->first == lb->first, "ceiling key");
+        }
+        break;
+      }
+      case 6: {
+        const std::uint64_t hi = k + bytes[step] / 8;
+        std::size_t expect = 0;
+        for (auto it = oracle.lower_bound(k);
+             it != oracle.end() && it->first <= hi; ++it) {
+          ++expect;
+        }
+        std::size_t got = map.range_for_each(k, hi, [](auto, auto) {});
+        FUZZ_CHECK(got == expect, "range count");
+        break;
+      }
+      default: {
+        const std::uint64_t hi = k + bytes[step] / 8;
+        map.range_transform(k, hi, [](std::uint64_t, std::uint64_t v) {
+          return v + 1;
+        });
+        for (auto it = oracle.lower_bound(k);
+             it != oracle.end() && it->first <= hi; ++it) {
+          it->second += 1;
+        }
+        break;
+      }
+    }
+    if (step % 512 == 0) {
+      std::string err;
+      FUZZ_CHECK(map.validate(&err), err.c_str());
+    }
+  }
+  // Final audit.
+  std::size_t step = bytes.size();
+  std::string err;
+  FUZZ_CHECK(map.validate(&err), err.c_str());
+  FUZZ_CHECK(map.size_approx() == oracle.size(), "final size");
+  auto it = oracle.begin();
+  bool contents_ok = true;
+  map.for_each([&](std::uint64_t k, std::uint64_t v) {
+    if (it == oracle.end() || it->first != k || it->second != v) {
+      contents_ok = false;
+    } else {
+      ++it;
+    }
+  });
+  FUZZ_CHECK(contents_ok && it == oracle.end(), "final contents");
+  return true;
+}
+
+sv::core::Config config_from_seed(std::uint64_t seed) {
+  sv::Xoshiro256 rng(seed);
+  sv::core::Config cfg;
+  cfg.layer_count = 1 + static_cast<std::uint32_t>(rng.next_below(6));
+  cfg.target_data_vector_size =
+      1 + static_cast<std::uint32_t>(rng.next_below(16));
+  cfg.target_index_vector_size =
+      1 + static_cast<std::uint32_t>(rng.next_below(16));
+  cfg.merge_threshold_factor = static_cast<double>(rng.next_below(250)) / 100;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sv::benchutil::Options opt(argc, argv);
+  if (opt.help_requested()) {
+    std::printf(
+        "opfuzz: byte-driven differential fuzzer (map vs std::map)\n"
+        "  --input=FILE   replay a byte string from FILE\n"
+        "  --rounds=N     PRNG self-fuzz rounds (default 200)\n"
+        "  --ops=N        ops per round (default 4096)\n"
+        "  --seed=N       starting seed (default 1)\n");
+    return 0;
+  }
+  const std::string input = opt.str("input", "");
+  if (!input.empty()) {
+    std::ifstream f(input, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", input.c_str());
+      return 2;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    const bool ok = run_bytes(bytes, config_from_seed(opt.u64("seed", 1)));
+    std::printf("%s (%zu bytes)\n", ok ? "ok" : "FAILED", bytes.size());
+    return ok ? 0 : 1;
+  }
+
+  const std::uint64_t rounds = opt.u64("rounds", 200);
+  const std::uint64_t ops = opt.u64("ops", 4096);
+  const std::uint64_t seed0 = opt.u64("seed", 1);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    sv::Xoshiro256 rng(seed0 + r);
+    std::vector<std::uint8_t> bytes(ops * 2);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    if (!run_bytes(bytes, config_from_seed(seed0 + r))) {
+      std::fprintf(stderr, "round %llu (seed %llu) FAILED\n",
+                   static_cast<unsigned long long>(r),
+                   static_cast<unsigned long long>(seed0 + r));
+    }
+  }
+  std::printf("opfuzz: %llu rounds x %llu ops, %d failures\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(ops), g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Convert the figure benches' human-readable tables into CSV (and
+optionally gnuplot scripts) for plotting paper-style charts.
+
+Usage:
+    for b in build/bench/fig*; do $b; done | tee bench_output.txt
+    tools/plot_results.py bench_output.txt --outdir plots/
+
+Each detected table becomes plots/<name>.csv; with --gnuplot, a matching
+.gp script renders <name>.png (throughput vs threads, one series per
+implementation), mirroring the paper's figure layout.
+"""
+import argparse
+import os
+import re
+import sys
+
+
+def sanitize(s: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", s.strip()).strip("_").lower()
+
+
+def parse_tables(lines):
+    """Yield (name, header_cols, rows) for every table in the output."""
+    name = None
+    sub = ""
+    header = None
+    rows = []
+
+    def flush():
+        nonlocal header, rows
+        if name and header and rows:
+            yield_name = sanitize(name + ("_" + sub if sub else ""))
+            out.append((yield_name, header, rows))
+        header, rows = None, []
+
+    out = []
+    for raw in lines:
+        line = raw.rstrip("\n")
+        m = re.match(r"^=+\s*(.*?)\s*=+$|^== (.*?) ==$", line)
+        if line.startswith("== "):
+            flush()
+            name = line.strip("= ").strip()
+            sub = ""
+            continue
+        if line.startswith("-- "):
+            flush()
+            sub = line.strip("- ").strip()
+            continue
+        cols = line.split()
+        if not cols or not line.startswith("  "):
+            continue
+        if header is None and not re.match(r"^[0-9]", cols[0]):
+            header = cols
+            continue
+        if header is not None:
+            # Data row: first token may be like "2^16" or a number/label.
+            rows.append(cols)
+    flush()
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input", help="bench output file ('-' for stdin)")
+    ap.add_argument("--outdir", default="plots")
+    ap.add_argument("--gnuplot", action="store_true",
+                    help="emit .gp scripts next to the CSVs")
+    args = ap.parse_args()
+
+    text = (sys.stdin if args.input == "-" else open(args.input)).readlines()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    tables = parse_tables(text)
+    if not tables:
+        print("no tables recognized", file=sys.stderr)
+        return 1
+    for name, header, rows in tables:
+        csv_path = os.path.join(args.outdir, name + ".csv")
+        with open(csv_path, "w") as f:
+            f.write(",".join(header) + "\n")
+            for r in rows:
+                f.write(",".join(r[:len(header)]) + "\n")
+        print("wrote", csv_path, f"({len(rows)} rows)")
+        if args.gnuplot and len(header) >= 2:
+            gp_path = os.path.join(args.outdir, name + ".gp")
+            png = name + ".png"
+            series = ", ".join(
+                f"'{name}.csv' using 0:{i + 2}:xtic(1) with linespoints "
+                f"title '{header[i + 1]}'"
+                for i in range(len(header) - 1))
+            with open(gp_path, "w") as f:
+                f.write("set datafile separator ','\n"
+                        "set key outside\n"
+                        "set grid\n"
+                        f"set ylabel '{header[-1]}'\n"
+                        f"set xlabel '{header[0]}'\n"
+                        "set term pngcairo size 900,540\n"
+                        f"set output '{png}'\n"
+                        f"plot {series}\n")
+            print("wrote", gp_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
