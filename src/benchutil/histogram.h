@@ -13,8 +13,31 @@ namespace sv::benchutil {
 class LatencyHistogram {
  public:
   static constexpr int kBucketBits = 6;  // 64 linear sub-buckets per octave
-  static constexpr int kOctaves = 40;    // up to ~2^40 ns (~18 min)
+  static constexpr int kOctaves = 40;    // top bucket starts at 2^44 ns (~4.8h)
   static constexpr int kBuckets = kOctaves << kBucketBits;
+
+  // Bucket mapping, public for exhaustive round-trip testing. Octave 0 is
+  // exact (one bucket per nanosecond below 64); octave o >= 1 covers
+  // [2^(o+5), 2^(o+6)) in 64 sub-buckets of width 2^(o-1). value_for returns
+  // a bucket's lower bound, so value_for(index_for(v)) <= v for all v, with
+  // equality exactly on bucket boundaries.
+  static int index_for(std::uint64_t v) noexcept {
+    if (v < (std::uint64_t{1} << kBucketBits)) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int octave = msb - kBucketBits + 1;
+    const auto sub = static_cast<int>((v >> (msb - kBucketBits)) &
+                                      ((1u << kBucketBits) - 1));
+    const int idx = (octave << kBucketBits) + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static std::uint64_t value_for(int idx) noexcept {
+    const int octave = idx >> kBucketBits;
+    const std::uint64_t sub = idx & ((1u << kBucketBits) - 1);
+    if (octave == 0) return sub;
+    return (std::uint64_t{1} << (octave + kBucketBits - 1)) +
+           (sub << (octave - 1));
+  }
 
   void record(std::uint64_t nanos) noexcept {
     counts_[index_for(nanos)]++;
@@ -69,24 +92,6 @@ class LatencyHistogram {
   }
 
  private:
-  static int index_for(std::uint64_t v) noexcept {
-    if (v < (1u << kBucketBits)) return static_cast<int>(v);
-    const int msb = 63 - __builtin_clzll(v);
-    const int octave = msb - kBucketBits + 1;
-    const auto sub = static_cast<int>((v >> (msb - kBucketBits)) &
-                                      ((1u << kBucketBits) - 1));
-    int idx = ((octave + 1) << kBucketBits) + sub;
-    return idx < kBuckets ? idx : kBuckets - 1;
-  }
-
-  static std::uint64_t value_for(int idx) noexcept {
-    const int octave = (idx >> kBucketBits) - 1;
-    const std::uint64_t sub = idx & ((1u << kBucketBits) - 1);
-    if (octave < 0) return sub;
-    return (std::uint64_t{1} << (octave + kBucketBits - 1)) +
-           (sub << (octave - 1 >= 0 ? octave - 1 : 0));
-  }
-
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t total_ = 0;
   std::uint64_t sum_ = 0;

@@ -14,13 +14,26 @@ namespace sv {
 
 class ZipfGenerator {
  public:
+  // Gray's closed-form inverse is singular at theta == 1 (alpha = 1/(1-theta)
+  // divides by zero, and eta's 1-theta exponent makes it NaN-prone as theta
+  // approaches 1). Theta within this distance of 1 is treated as the exact
+  // harmonic distribution (s = 1) and sampled via the analytic inverse of
+  // H_x ~ ln(x) + gamma instead.
+  static constexpr double kHarmonicEpsilon = 1e-9;
+
   ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
-      : n_(n), theta_(theta), rng_(seed) {
+      : n_(n), theta_(theta), rng_(seed),
+        harmonic_(std::fabs(theta - 1.0) < kHarmonicEpsilon) {
     zetan_ = zeta(n, theta);
-    zeta2_ = zeta(2, theta);
-    alpha_ = 1.0 / (1.0 - theta);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
-           (1.0 - zeta2_ / zetan_);
+    if (harmonic_) {
+      alpha_ = 0.0;
+      eta_ = 0.0;
+    } else {
+      const double zeta2 = zeta(2, theta);
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2 / zetan_);
+    }
   }
 
   // Returns a value in [0, n).
@@ -30,6 +43,18 @@ class ZipfGenerator {
     const double uz = u * zetan_;
     if (uz < 1.0) return 0;
     if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    if (harmonic_) {
+      // Invert the harmonic CDF: find x with H_x ~ uz via
+      // H_x ~ ln(x) + gamma, i.e. x ~ exp(uz - gamma). The first two ranks
+      // are handled exactly above; the asymptotic inverse is accurate for
+      // the tail (relative error < 1/(2x)).
+      constexpr double kEulerGamma = 0.57721566490153286;
+      const double x = std::exp(uz - kEulerGamma);
+      auto rank = static_cast<std::uint64_t>(x);
+      if (rank < 2) rank = 2;
+      if (rank > n_) rank = n_;
+      return rank - 1;
+    }
     const auto v = static_cast<std::uint64_t>(
         static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
     return v >= n_ ? n_ - 1 : v;
@@ -49,7 +74,8 @@ class ZipfGenerator {
   std::uint64_t n_;
   double theta_;
   Xoshiro256 rng_;
-  double zetan_, zeta2_, alpha_, eta_;
+  bool harmonic_;
+  double zetan_, alpha_, eta_;
 };
 
 }  // namespace sv

@@ -45,6 +45,8 @@
 #include "common/hw.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "debug/audit.h"
+#include "debug/fault_inject.h"
 #include "reclaim/reclaimer.h"
 #include "sync/backoff.h"
 #include "sync/sequence_lock.h"
@@ -151,11 +153,22 @@ class SkipVectorMap {
   // ---- Insert (Listing 3) --------------------------------------------------
 
   // Inserts the mapping k -> v; returns false (no change) if k is present.
-  bool insert(K k, V v) {
+  bool insert(K k, V v) { return insert_impl(k, v, random_height()); }
+
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+  // Test-only (fault-injection builds): insert with a forced tower height,
+  // so scenario tests can build exact structural shapes deterministically
+  // instead of fishing for them through the random height generator.
+  bool insert_with_height(K k, V v, std::uint32_t height) {
+    return insert_impl(k, v, std::min(height, config_.layer_count - 1));
+  }
+#endif
+
+ private:
+  bool insert_impl(K k, V v, std::uint32_t height) {
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
-    const std::uint32_t height = random_height();
     InsertState st;
     for (;;) {
       bool result = false;
@@ -169,6 +182,7 @@ class SkipVectorMap {
     }
   }
 
+ public:
   // ---- Remove (Listing 4) --------------------------------------------------
 
   // Removes k; returns false (no change) if absent.
@@ -608,47 +622,61 @@ class SkipVectorMap {
     return s;
   }
 
-  // Quiescent: check every structural invariant. Returns true if the
-  // structure is well formed; otherwise false with a diagnostic in *err.
-  bool validate(std::string* err = nullptr) const {
-    auto fail = [&](const std::string& m) {
-      if (err != nullptr) *err = m;
-      return false;
+  // Quiescent: full structural audit. Walks every layer and collects every
+  // invariant violation (up to max_violations) into a structured report
+  // instead of stopping at the first or asserting -- a broken map yields a
+  // complete picture of *how* it is broken. See debug/audit.h for codes.
+  debug::AuditReport validate_structure(std::size_t max_violations = 64) const {
+    using debug::AuditCode;
+    debug::AuditReport rep;
+    auto flag = [&](AuditCode code, std::uint32_t layer, std::string detail) {
+      if (rep.violations.size() >= max_violations) {
+        rep.truncated = true;
+        return;
+      }
+      rep.violations.push_back({code, layer, std::move(detail)});
     };
-    // Per-layer ordering, size bounds, emptiness rules.
+    // Pass 1 -- per-layer invariants: quiescence of every lock word, orphan
+    // flag placement, occupancy bounds (chunk size <= capacity = 2T),
+    // intra-chunk key uniqueness, and inter-chunk key ordering.
     for (std::uint32_t l = 0; l < config_.layer_count; ++l) {
       bool have_prev_max = false;
       K prev_max{};
       for (const NodeBase* n = heads_[l]; n != nullptr;
            n = n->next.load(std::memory_order_relaxed)) {
+        rep.nodes_checked++;
         auto* nn = const_cast<NodeBase*>(n);
         const std::uint32_t sz = node_size(nn);
         const Word w = n->lock.load_relaxed();
         if (Lock::is_locked(w) || Lock::is_frozen(w))
-          return fail("node locked/frozen while quiescent");
+          flag(AuditCode::kLockedWhileQuiescent, l,
+               "node locked/frozen while quiescent");
         if (n->is_head && Lock::is_orphan(w))
-          return fail("head marked orphan");
+          flag(AuditCode::kHeadOrphan, l, "head marked orphan");
         if (!n->is_head && !Lock::is_orphan(w) && sz == 0)
-          return fail("empty non-orphan node at layer " + std::to_string(l));
-        if (sz > n->capacity) return fail("size exceeds capacity");
+          flag(AuditCode::kEmptyNonOrphan, l, "empty non-orphan node");
+        if (sz > n->capacity)
+          flag(AuditCode::kOverCapacity, l,
+               "size " + std::to_string(sz) + " > capacity " +
+                   std::to_string(n->capacity));
         if (sz > 0) {
           const K mn = node_min_key(nn);
           const K mx = node_max_key(nn);
-          if (mx < mn) return fail("max < min");
+          if (mx < mn) flag(AuditCode::kChunkKeyOrder, l, "max < min");
           if (have_prev_max && !(prev_max < mn))
-            return fail("inter-node ordering violated at layer " +
-                        std::to_string(l));
+            flag(AuditCode::kInterChunkOrder, l,
+                 "left sibling max >= right sibling min");
           prev_max = mx;
           have_prev_max = true;
           if (!check_unique_keys(nn))
-            return fail("duplicate keys in a chunk at layer " +
-                        std::to_string(l));
+            flag(AuditCode::kDuplicateKeys, l, "duplicate keys in a chunk");
         }
       }
     }
-    // Down pointers: each index entry (key, down) targets a non-orphan node
-    // in the layer below whose minimum key equals the entry key; orphans
-    // below have no parent; non-orphan non-head nodes have exactly one.
+    // Pass 2 -- down pointers: each index entry (key, down) targets a
+    // non-orphan node linked in the layer below whose minimum key equals the
+    // entry key; orphans below have no parent; non-orphan non-head nodes
+    // have exactly one.
     for (std::uint32_t l = config_.layer_count; l-- > 1;) {
       std::vector<const NodeBase*> below;
       for (const NodeBase* n = heads_[l - 1]; n != nullptr;
@@ -663,62 +691,139 @@ class SkipVectorMap {
       };
       for (const NodeBase* n = heads_[l]; n != nullptr;
            n = n->next.load(std::memory_order_relaxed)) {
-        bool bad = false;
-        std::string why;
         static_cast<const IndexNode*>(n)->vec.for_each(
             [&](K k, NodeBase* down) {
+              rep.entries_checked++;
               const std::ptrdiff_t i = index_of_node(down);
               if (i < 0) {
-                bad = true;
-                why = "down pointer to unlinked node";
+                flag(AuditCode::kDanglingDown, l,
+                     "down pointer to a node not linked below");
                 return;
               }
               parent_count[static_cast<std::size_t>(i)]++;
               auto* dn = const_cast<NodeBase*>(below[i]);
               if (Lock::is_orphan(dn->lock.load_relaxed())) {
-                bad = true;
-                why = "down pointer to orphan";
+                flag(AuditCode::kOrphanWithParent, l,
+                     "down pointer to orphan");
               } else if (node_size(dn) == 0 || node_min_key(dn) != k) {
-                bad = true;
-                why = "down target min != entry key";
+                flag(AuditCode::kEntryChildMismatch, l,
+                     "down target min != entry key");
               }
             });
-        if (n->is_head) {
-          if (n->head_down != heads_[l - 1]) {
-            bad = true;
-            why = "head_down mismatch";
-          }
+        if (n->is_head && n->head_down != heads_[l - 1]) {
+          flag(AuditCode::kHeadDownMismatch, l, "head_down mismatch");
         }
-        if (bad) return fail(why + " at layer " + std::to_string(l));
       }
       for (std::size_t i = 0; i < below.size(); ++i) {
         const NodeBase* n = below[i];
         const bool orphan = Lock::is_orphan(n->lock.load_relaxed());
         if (n->is_head) {
-          if (parent_count[i] != 0) return fail("head has a parent entry");
+          if (parent_count[i] != 0)
+            flag(AuditCode::kHeadHasParent, l - 1, "head has a parent entry");
         } else if (orphan) {
-          if (parent_count[i] != 0) return fail("orphan has a parent entry");
+          if (parent_count[i] != 0)
+            flag(AuditCode::kOrphanWithParent, l - 1,
+                 "orphan has a parent entry");
         } else if (parent_count[i] != 1) {
-          return fail("non-orphan has " + std::to_string(parent_count[i]) +
-                      " parent entries at layer " + std::to_string(l - 1));
+          flag(AuditCode::kParentCountWrong, l - 1,
+               "non-orphan has " + std::to_string(parent_count[i]) +
+                   " parent entries");
         }
       }
     }
-    // Every key in an index layer exists in the layer below (and hence in
-    // the data layer).
+    // Pass 3 -- every key in an index layer is the minimum of its child
+    // chunk (and hence, transitively, exists in the data layer).
     for (std::uint32_t l = 1; l < config_.layer_count; ++l) {
       for (const NodeBase* n = heads_[l]; n != nullptr;
            n = n->next.load(std::memory_order_relaxed)) {
-        bool bad = false;
         static_cast<const IndexNode*>(n)->vec.for_each(
             [&](K k, NodeBase* down) {
-              if (node_size(down) == 0 || node_min_key(down) != k) bad = true;
+              if (node_size(down) == 0 || node_min_key(down) != k)
+                flag(AuditCode::kIndexKeyMissingBelow, l,
+                     "index key missing below");
             });
-        if (bad) return fail("index key missing below");
       }
     }
-    return true;
+    return rep;
   }
+
+  // Quiescent: check every structural invariant. Returns true if the
+  // structure is well formed; otherwise false with a diagnostic in *err.
+  // (Thin wrapper over validate_structure for existing callers.)
+  bool validate(std::string* err = nullptr) const {
+    const debug::AuditReport rep = validate_structure();
+    if (rep.ok()) return true;
+    if (err != nullptr) *err = rep.to_string();
+    return false;
+  }
+
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+  // Test-only (fault-injection builds): deliberately violate one structural
+  // invariant on a quiesced map, so negative tests can prove the auditor
+  // actually catches broken structures. Returns false when the current shape
+  // has no site to corrupt (e.g. no index entries yet).
+  enum class DebugCorruption {
+    kOrphanFlagOnChild,   // -> kOrphanWithParent (+ follow-on parent-count)
+    kIndexKeyOffByOne,    // -> kEntryChildMismatch / kIndexKeyMissingBelow
+    kClearNonHeadChunk,   // -> kEmptyNonOrphan (+ entry-child mismatch above)
+  };
+  bool debug_corrupt(DebugCorruption c) {
+    switch (c) {
+      case DebugCorruption::kOrphanFlagOnChild: {
+        for (std::uint32_t l = config_.layer_count; l-- > 1;) {
+          for (NodeBase* n = heads_[l]; n != nullptr;
+               n = n->next.load(std::memory_order_relaxed)) {
+            NodeBase* child = nullptr;
+            as_index(n)->vec.for_each([&](K, NodeBase* down) {
+              if (child == nullptr) child = down;
+            });
+            if (child != nullptr) {
+              child->lock.acquire();
+              child->lock.set_orphan_locked(true);
+              child->lock.release();
+              return true;
+            }
+          }
+        }
+        return false;
+      }
+      case DebugCorruption::kIndexKeyOffByOne: {
+        for (std::uint32_t l = config_.layer_count; l-- > 1;) {
+          for (NodeBase* n = heads_[l]; n != nullptr;
+               n = n->next.load(std::memory_order_relaxed)) {
+            bool have = false;
+            K k{};
+            as_index(n)->vec.for_each([&](K key, NodeBase*) {
+              if (!have) {
+                k = key;
+                have = true;
+              }
+            });
+            if (have) {
+              NodeBase* down = nullptr;
+              as_index(n)->vec.erase(k, &down);
+              as_index(n)->vec.insert(k + K{1}, down);
+              return true;
+            }
+          }
+        }
+        return false;
+      }
+      case DebugCorruption::kClearNonHeadChunk: {
+        for (NodeBase* n = heads_[0]; n != nullptr;
+             n = n->next.load(std::memory_order_relaxed)) {
+          if (!n->is_head && !Lock::is_orphan(n->lock.load_relaxed()) &&
+              node_size(n) > 0) {
+            as_data(n)->vec.clear();
+            return true;
+          }
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+#endif  // SV_FAULT_INJECTION
 
  private:
   // ---- Allocation ----------------------------------------------------------
@@ -895,6 +1000,7 @@ class SkipVectorMap {
           t.node->lock.release();
           return false;
         }
+        SV_FAULT_POINT(debug::Point::kMerge);  // both write locks held
         orphan_merges_.fetch_add(1, std::memory_order_relaxed);
         node_merge_from(t.node, next);
         t.node->next.store(next->next.load(std::memory_order_relaxed),
@@ -984,6 +1090,7 @@ class SkipVectorMap {
   void thaw_all(InsertState& st, std::uint32_t height) {
     if (st.lowest_frozen > height) return;
     for (std::uint32_t l = st.lowest_frozen; l <= height; ++l) {
+      SV_FAULT_POINT(debug::Point::kThaw);  // node still frozen here
       st.prevs[l]->lock.thaw();
     }
     st.lowest_frozen = Config::kMaxLayers + 1;
@@ -999,6 +1106,7 @@ class SkipVectorMap {
     if (st.lowest_frozen <= height && st.lowest_frozen >= 1) {
       // Checkpoint resume (Listing 3 line 14): the lowest node we froze
       // cannot have changed; restart the descent from it.
+      SV_FAULT_POINT(debug::Point::kResume);
       layer = st.lowest_frozen;
       t.node = st.prevs[layer];
       t.slot = 0;
@@ -1017,6 +1125,7 @@ class SkipVectorMap {
       if (!resumed_at_checkpoint) {
         if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
         if (layer <= height) {
+          if (SV_FAULT_SHOULD_FAIL(debug::Point::kFreeze)) return false;
           if (!t.node->lock.try_freeze(t.ver)) return false;
           t.ver = t.node->lock.load_relaxed();
           st.prevs[layer] = t.node;
@@ -1041,6 +1150,7 @@ class SkipVectorMap {
 
     // Data layer.
     if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+    if (SV_FAULT_SHOULD_FAIL(debug::Point::kFreeze)) return false;
     if (!t.node->lock.try_freeze(t.ver)) return false;
     st.prevs[0] = t.node;
     st.lowest_frozen = 0;
@@ -1075,12 +1185,14 @@ class SkipVectorMap {
         auto* in = alloc_split_node<IndexNode, NodeBase*>(
             as_index(prev)->vec, k, config_.index_capacity(),
             static_cast<std::uint8_t>(layer));
+        SV_FAULT_POINT(debug::Point::kStealAbove);
         as_index(prev)->vec.steal_greater(k, in->vec);
         in->vec.insert(k, below);
         fresh = in;
       }
       fresh->next.store(prev->next.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
+      SV_FAULT_POINT(debug::Point::kTowerSplit);  // split built, not published
       prev->next.store(fresh, std::memory_order_release);
       prev->lock.release();
       tower_splits_.fetch_add(1, std::memory_order_relaxed);
@@ -1136,6 +1248,7 @@ class SkipVectorMap {
       }
       sib->next.store(node->next.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+      SV_FAULT_POINT(debug::Point::kSplit);  // orphan built, not yet published
       node->next.store(sib, std::memory_order_release);
       if (goes_right) return;
     }

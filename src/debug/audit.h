@@ -1,0 +1,104 @@
+// Structured violation reporting for SkipVectorMap::validate_structure():
+// instead of asserting (or stopping at the first problem like the legacy
+// bool validate()), the auditor walks the whole quiesced structure and
+// collects every invariant violation it finds, each tagged with a machine-
+// checkable code. Tests assert on codes; humans read to_string().
+//
+// These are plain value types with no dependency on the map or on the
+// fault-injection layer; they exist in every build flavor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sv::debug {
+
+// One code per structural invariant of DESIGN.md §4 / paper §IV-C.
+enum class AuditCode : std::uint8_t {
+  kLockedWhileQuiescent,   // lock or frozen bit set with no writers running
+  kHeadOrphan,             // a layer head carries the orphan flag
+  kEmptyNonOrphan,         // empty non-head chunk without the orphan flag
+  kOverCapacity,           // chunk occupancy exceeds its capacity (2T)
+  kChunkKeyOrder,          // max < min within a chunk (torn bookkeeping)
+  kDuplicateKeys,          // duplicate keys within one chunk
+  kInterChunkOrder,        // left sibling's max >= right sibling's min
+  kDanglingDown,           // index entry points at a node not linked below
+  kEntryChildMismatch,     // index entry key != child's minimum key
+  kOrphanWithParent,       // orphan-flagged node has a parent entry
+  kParentCountWrong,       // non-orphan non-head node has != 1 parent entry
+  kHeadHasParent,          // a layer head has a parent entry
+  kHeadDownMismatch,       // head_down doesn't point at the head one layer down
+  kIndexKeyMissingBelow,   // index key has no matching minimum in child
+};
+
+inline const char* audit_code_name(AuditCode c) noexcept {
+  switch (c) {
+    case AuditCode::kLockedWhileQuiescent: return "locked-while-quiescent";
+    case AuditCode::kHeadOrphan: return "head-orphan";
+    case AuditCode::kEmptyNonOrphan: return "empty-non-orphan";
+    case AuditCode::kOverCapacity: return "over-capacity";
+    case AuditCode::kChunkKeyOrder: return "chunk-key-order";
+    case AuditCode::kDuplicateKeys: return "duplicate-keys";
+    case AuditCode::kInterChunkOrder: return "inter-chunk-order";
+    case AuditCode::kDanglingDown: return "dangling-down";
+    case AuditCode::kEntryChildMismatch: return "entry-child-mismatch";
+    case AuditCode::kOrphanWithParent: return "orphan-with-parent";
+    case AuditCode::kParentCountWrong: return "parent-count-wrong";
+    case AuditCode::kHeadHasParent: return "head-has-parent";
+    case AuditCode::kHeadDownMismatch: return "head-down-mismatch";
+    case AuditCode::kIndexKeyMissingBelow: return "index-key-missing-below";
+    default: return "?";
+  }
+}
+
+struct AuditViolation {
+  AuditCode code;
+  std::uint32_t layer = 0;  // layer of the node the finding anchors to
+  std::string detail;       // human-readable specifics (keys, counts)
+
+  std::string to_string() const {
+    std::string s = audit_code_name(code);
+    s += " @layer" + std::to_string(layer);
+    if (!detail.empty()) s += ": " + detail;
+    return s;
+  }
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  // Coverage counters, so "clean" is distinguishable from "didn't look".
+  std::size_t nodes_checked = 0;
+  std::size_t entries_checked = 0;
+  bool truncated = false;  // hit the violation cap; more may exist
+
+  bool ok() const noexcept { return violations.empty(); }
+
+  bool has(AuditCode c) const noexcept {
+    for (const auto& v : violations) {
+      if (v.code == c) return true;
+    }
+    return false;
+  }
+
+  std::size_t count(AuditCode c) const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : violations) n += (v.code == c) ? 1 : 0;
+    return n;
+  }
+
+  std::string to_string() const {
+    if (ok()) {
+      return "audit ok (" + std::to_string(nodes_checked) + " nodes, " +
+             std::to_string(entries_checked) + " entries)";
+    }
+    std::string s = "audit FAILED (" + std::to_string(violations.size()) +
+                    (truncated ? "+" : "") + " violations over " +
+                    std::to_string(nodes_checked) + " nodes)";
+    for (const auto& v : violations) s += "\n  " + v.to_string();
+    return s;
+  }
+};
+
+}  // namespace sv::debug

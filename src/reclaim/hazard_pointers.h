@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/hw.h"
+#include "debug/fault_inject.h"
 
 namespace sv::reclaim {
 
@@ -75,6 +76,7 @@ class HazardDomain {
 
     // The paper's "HP.mark": defer deletion of p until no slot protects it.
     void retire(void* p, void (*deleter)(void*)) {
+      SV_FAULT_POINT(debug::Point::kRetire);  // p unlinked, not yet scanned
       rec_->retired.push_back({p, deleter});
       if (rec_->retired.size() >= domain_->scan_threshold()) {
         domain_->scan(*rec_);

@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "common/hw.h"
+#include "sync/backoff.h"
 
 namespace sv::sync {
 
@@ -124,8 +125,10 @@ class SequenceLock {
   }
 
   // The paper's "acquire": blocking lock. Spins while locked or frozen by
-  // another thread.
+  // another thread, with truncated exponential backoff so a contended word
+  // is not hammered by every waiter's CAS/load in lockstep.
   void acquire() noexcept {
+    Backoff backoff;
     for (;;) {
       Word w = word_.load(std::memory_order_relaxed);
       if (!is_locked(w) && !is_frozen(w)) {
@@ -136,7 +139,7 @@ class SequenceLock {
           return;
         }
       }
-      cpu_relax();
+      backoff.pause();
     }
   }
 

@@ -1,0 +1,132 @@
+// LatencyHistogram bucket-mapping and percentile tests. The mapping
+// regression this pins down: the old index_for offset every value >= 64 by a
+// full octave, leaving indices 64..127 unreachable (dead buckets) and
+// value_for disagreeing with index_for over the whole second octave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "benchutil/histogram.h"
+
+namespace sv::benchutil {
+namespace {
+
+TEST(LatencyHistogram, IndexIsExactBelowSixtyFour) {
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(LatencyHistogram::index_for(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::value_for(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, EveryIndexInFirstOctavesIsReachableAndRoundTrips) {
+  // index_for(value_for(i)) == i for every bucket in the first 16 octaves --
+  // in particular 64..127, the dead range under the old mapping.
+  for (int i = 0; i < 16 << LatencyHistogram::kBucketBits; ++i) {
+    const std::uint64_t lo = LatencyHistogram::value_for(i);
+    EXPECT_EQ(LatencyHistogram::index_for(lo), i) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, ExhaustiveValuesMapIntoTheirBucketBounds) {
+  // For every value in the first few octaves: its bucket's lower bound is
+  // <= v, and the next bucket starts strictly above v.
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << 13); ++v) {
+    const int idx = LatencyHistogram::index_for(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::value_for(idx), v) << "v=" << v;
+    EXPECT_GT(LatencyHistogram::value_for(idx + 1), v) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, IndexIsMonotoneAcrossOctaveBoundaries) {
+  // Walk powers of two and their neighbors (in increasing value order) up
+  // to 2^40: the index must never decrease as the value grows.
+  int prev = -1;
+  std::uint64_t prev_v = 0;
+  for (int bit = 0; bit <= 40; ++bit) {
+    const std::uint64_t p = std::uint64_t{1} << bit;
+    for (std::uint64_t v : {p, p + 1, 2 * p - 1}) {
+      if (v < prev_v) continue;  // degenerate triple at p == 1
+      const int idx = LatencyHistogram::index_for(v);
+      EXPECT_GE(idx, prev) << "v=" << v;
+      prev = idx;
+      prev_v = v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(LatencyHistogram::index_for(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, PercentileSingleSample) {
+  LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  // Every percentile of a single sample is that sample's bucket.
+  const std::uint64_t lo =
+      LatencyHistogram::value_for(LatencyHistogram::index_for(1000));
+  EXPECT_EQ(h.percentile(0), lo);
+  EXPECT_EQ(h.percentile(50), lo);
+  EXPECT_EQ(h.percentile(100), lo);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+}
+
+TEST(LatencyHistogram, PercentileEmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.percentile(100), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesOrderAndBracketUniformData) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const auto p50 = h.percentile(50);
+  const auto p90 = h.percentile(90);
+  const auto p99 = h.percentile(99);
+  const auto p100 = h.percentile(100);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p100);
+  // Bucket lower bounds: within one bucket width of the exact answer.
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(p90), 9000.0, 9000.0 * 0.02);
+  // p=100 must land in max's bucket, not run off the array.
+  EXPECT_EQ(p100,
+            LatencyHistogram::value_for(LatencyHistogram::index_for(10000)));
+}
+
+TEST(LatencyHistogram, SecondOctaveCountsAreNotMisfiled) {
+  // Values 64..127 must land in their own buckets (the old mapping filed
+  // them an octave too high, colliding with 128..255).
+  LatencyHistogram h;
+  for (std::uint64_t v = 64; v < 128; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.percentile(100), 127u);
+  const auto p0 = h.percentile(0);
+  EXPECT_GE(p0, 64u);
+  EXPECT_LT(p0, 128u);
+}
+
+TEST(LatencyHistogram, MergeCombinesCountsAndMax) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_EQ(a.percentile(25), 10u);
+  EXPECT_LE(a.percentile(75), 1000000u);
+  EXPECT_GE(a.percentile(75),
+            LatencyHistogram::value_for(
+                LatencyHistogram::index_for(1000000)));
+  EXPECT_DOUBLE_EQ(a.mean(), (100 * 10 + 100 * 1000000.0) / 200.0);
+}
+
+}  // namespace
+}  // namespace sv::benchutil

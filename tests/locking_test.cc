@@ -9,8 +9,10 @@
 #include <chrono>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "core/skip_vector.h"
+#include "sync/sequence_lock.h"
 
 namespace sv::core {
 namespace {
@@ -114,6 +116,39 @@ TEST(LockingGranularity, TwoDisjointRangesProceedConcurrently) {
   release.store(true, std::memory_order_release);
   a.join();
   b.join();
+}
+
+TEST(SequenceLockContention, BlockingAcquireIsExclusiveAndLive) {
+  // Regression for the contended acquire() path: it spins with truncated
+  // exponential backoff rather than a bare pause loop, so heavy contention
+  // must neither lose increments (mutual exclusion) nor livelock (every
+  // thread finishes in bounded time).
+  sync::SequenceLock lock;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::uint64_t counter = 0;  // protected by `lock` only
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        lock.acquire();
+        ++counter;
+        lock.release();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(counter, kThreads * kPerThread);
+  // Generous bound: 160k contended critical sections take well under this
+  // even on a loaded single-core CI machine; a livelocked or quadratic
+  // backoff regression blows straight through it.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            60);
+  const auto w = lock.load_relaxed();
+  EXPECT_FALSE(sync::SequenceLock::is_locked(w));
+  EXPECT_FALSE(sync::SequenceLock::is_frozen(w));
 }
 
 TEST(ConfigValidation, RejectsOutOfRangeParameters) {

@@ -4,16 +4,19 @@
 // query serializability.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/skip_vector.h"
+#include "debug/fault_inject.h"
 
 namespace sv::core {
 namespace {
@@ -460,6 +463,211 @@ TEST(SkipVectorConcurrent, SortedSortedLayoutUnderStress) {
   for (auto& th : threads) th.join();
   std::string err;
   EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// ---- Deterministic rare-interleaving scenarios (fault injection) -----------
+//
+// These tests replace "run churn and hope the scheduler cooperates" with
+// exact interleavings: a blocking handler parks a thread at a named
+// transition point while the test probes the structure from outside, and the
+// per-point hit trace is compared across two runs to prove the scenario
+// replays deterministically.
+
+using debug::FaultInjector;
+using debug::Point;
+using debug::Schedule;
+using HitSnapshot =
+    std::array<std::uint64_t, static_cast<std::size_t>(Point::kCount)>;
+
+Config TwoLayer() {
+  Config c;
+  c.layer_count = 2;
+  c.target_data_vector_size = 4;  // capacity 8, merge threshold 7
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+TEST(SkipVectorInjection, LazyOrphanMergeDuringLookup) {
+  auto run_once = [](bool probe_blocked_reader) {
+    MapHP m(TwoLayer());
+    // Shape: head data chunk {10,20,30,40}; key 50 gets a height-1 tower,
+    // splitting off a second chunk; 60 and 70 join it; removing 50 strips
+    // the tower and leaves {60,70} as a lazy orphan awaiting merge.
+    for (std::uint64_t k : {10, 20, 30, 40}) {
+      EXPECT_TRUE(m.insert_with_height(k, TagFor(k, 1), 0));
+    }
+    EXPECT_TRUE(m.insert_with_height(50, TagFor(50, 1), 1));
+    EXPECT_TRUE(m.insert_with_height(60, TagFor(60, 1), 0));
+    EXPECT_TRUE(m.insert_with_height(70, TagFor(70, 1), 0));
+    EXPECT_TRUE(m.remove(50));
+    EXPECT_EQ(m.counters().orphan_merges, 0u);
+
+    // Park the merging thread at kMerge: both write locks held, the orphan
+    // not yet absorbed.
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FaultInjector::instance().set_handler(
+        [&](Point p, std::uint64_t) {
+          if (p != Point::kMerge) return;
+          parked.store(true, std::memory_order_release);
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        });
+
+    // 4 + 2 entries < threshold 7: this insert's traversal must merge the
+    // orphan before placing 80.
+    std::thread merger([&] {
+      EXPECT_TRUE(m.insert_with_height(80, TagFor(80, 1), 0));
+    });
+    while (!parked.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+
+    // A lookup into the write-locked region cannot complete until the merge
+    // finishes; one outside it proceeds immediately.
+    std::atomic<bool> lookup_done{false};
+    std::uint64_t looked_up = 0;
+    std::thread reader([&] {
+      auto v = m.lookup(60);
+      ASSERT_TRUE(v.has_value());
+      looked_up = *v;
+      lookup_done.store(true, std::memory_order_release);
+    });
+    if (probe_blocked_reader) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      EXPECT_FALSE(lookup_done.load(std::memory_order_acquire))
+          << "a read of the locked chunk completed mid-merge";
+    }
+
+    release.store(true, std::memory_order_release);
+    merger.join();
+    reader.join();
+    EXPECT_TRUE(lookup_done.load());
+    EXPECT_EQ(looked_up, TagFor(60, 1));
+    EXPECT_EQ(m.counters().orphan_merges, 1u);
+
+    const HitSnapshot snap = FaultInjector::instance().hit_snapshot();
+    EXPECT_EQ(snap[static_cast<std::size_t>(Point::kMerge)], 1u);
+    FaultInjector::instance().clear();
+
+    std::map<std::uint64_t, std::uint64_t> contents;
+    m.for_each([&](std::uint64_t k, std::uint64_t v) { contents.emplace(k, v); });
+    const std::map<std::uint64_t, std::uint64_t> expected{
+        {10, TagFor(10, 1)}, {20, TagFor(20, 1)}, {30, TagFor(30, 1)},
+        {40, TagFor(40, 1)}, {60, TagFor(60, 1)}, {70, TagFor(70, 1)},
+        {80, TagFor(80, 1)}};
+    EXPECT_EQ(contents, expected);
+    const auto rep = m.validate_structure();
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    return snap;
+  };
+
+  const HitSnapshot a = run_once(/*probe_blocked_reader=*/true);
+  const HitSnapshot b = run_once(/*probe_blocked_reader=*/false);
+  EXPECT_EQ(a, b) << "the interleaving must replay with an identical trace";
+}
+
+TEST(SkipVectorInjection, FreezeAbortLeavesReadersUnblocked) {
+  auto run_once = []() {
+    MapHP m(TwoLayer());
+    for (std::uint64_t k : {10, 20, 30, 40}) {
+      EXPECT_TRUE(m.insert_with_height(k, TagFor(k, 1), 0));
+    }
+    EXPECT_TRUE(m.insert_with_height(50, TagFor(50, 1), 1));
+    EXPECT_TRUE(m.insert_with_height(60, TagFor(60, 1), 0));
+
+    // Park a duplicate tower insert at kThaw: it found 50 in the index
+    // layer and is about to thaw its frozen checkpoint -- the index head is
+    // still frozen at this instant.
+    std::atomic<bool> parked{false};
+    std::atomic<bool> release{false};
+    FaultInjector::instance().set_handler(
+        [&](Point p, std::uint64_t) {
+          if (p != Point::kThaw) return;
+          parked.store(true, std::memory_order_release);
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        });
+    std::thread dup([&] {
+      EXPECT_FALSE(m.insert_with_height(50, TagFor(50, 2), 1));
+    });
+    while (!parked.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+
+    // Freezing blocks writers, never readers (paper SIV-B): lookups through
+    // the frozen index node must succeed right now. A data-layer write that
+    // never touches the frozen node also proceeds.
+    EXPECT_EQ(m.lookup(10), TagFor(10, 1));
+    EXPECT_EQ(m.lookup(50), TagFor(50, 1));
+    EXPECT_EQ(m.lookup(60), TagFor(60, 1));
+    EXPECT_TRUE(m.insert_with_height(80, TagFor(80, 1), 0));
+
+    release.store(true, std::memory_order_release);
+    dup.join();
+
+    const HitSnapshot snap = FaultInjector::instance().hit_snapshot();
+    EXPECT_GE(snap[static_cast<std::size_t>(Point::kThaw)], 1u);
+    FaultInjector::instance().clear();
+    EXPECT_EQ(m.lookup(50), TagFor(50, 1)) << "duplicate insert must not win";
+    const auto rep = m.validate_structure();
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    return snap;
+  };
+
+  const HitSnapshot a = run_once();
+  const HitSnapshot b = run_once();
+  EXPECT_EQ(a, b) << "the interleaving must replay with an identical trace";
+}
+
+TEST(SkipVectorInjection, ChurnUnderScheduleSweepStaysValid) {
+  // An 8-thread torture slice under a seeded probabilistic schedule: forced
+  // yields stretch every transition window and injected freeze failures
+  // exercise the checkpoint-resume path continuously.
+  Schedule s;
+  s.seed = 9;
+  s.yield_prob = 0.2;
+  s.fail_prob = 0.1;
+  FaultInjector::instance().install(s);
+
+  MapHP m(SmallChunks());
+  constexpr std::uint64_t kRange = 128;
+  constexpr unsigned kThreads = 8;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(2600 + t);
+      for (std::uint64_t i = 0; i < 4000; ++i) {
+        const std::uint64_t k = rng.next_below(kRange);
+        switch (rng.next_below(4)) {
+          case 0:
+            m.insert(k, TagFor(k, rng.next()));
+            break;
+          case 1:
+            m.remove(k);
+            break;
+          default: {
+            auto v = m.lookup(k);
+            if (v) {
+              EXPECT_EQ(*v >> 32, k);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // The schedule must actually have perturbed executions.
+  EXPECT_GT(FaultInjector::instance().fired_count(Point::kFreeze), 0u);
+  FaultInjector::instance().clear();
+  const auto rep = m.validate_structure();
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  m.for_each([&](std::uint64_t k, std::uint64_t v) {
+    EXPECT_LT(k, kRange);
+    EXPECT_EQ(v >> 32, k);
+  });
 }
 
 }  // namespace

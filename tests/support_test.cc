@@ -169,10 +169,54 @@ TEST(Zipf, SkewConcentratesMass) {
 }
 
 TEST(Zipf, StaysInRange) {
-  for (double theta : {0.0, 0.5, 0.9, 0.99}) {
+  // theta == 1.0 is the harmonic singularity of Gray's closed form
+  // (alpha = 1/(1-theta)); it must sample via the analytic harmonic
+  // inverse, not divide by zero.
+  for (double theta : {0.0, 0.5, 0.9, 0.99, 1.0}) {
     ZipfGenerator z(64, theta, 9);
     for (int i = 0; i < 10000; ++i) ASSERT_LT(z.next(), 64u) << theta;
   }
+}
+
+TEST(Zipf, HarmonicThetaOneSamplesSanely) {
+  // Deterministic: same seed, same stream.
+  ZipfGenerator a(1000, 1.0, 11), b(1000, 1.0, 11);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+
+  // Rank-0 frequency must track the harmonic pmf: P(0) = 1/H_n, about
+  // 13.4% for n = 1000.
+  ZipfGenerator z(1000, 1.0, 12);
+  std::uint64_t zero = 0, hot = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = z.next();
+    ASSERT_LT(v, 1000u);
+    if (v == 0) ++zero;
+    if (v < 10) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / kDraws, 0.134, 0.02);
+  // Top-10 of 1000 keys draw ~H_10/H_n ~ 39% of the mass.
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.39, 0.04);
+}
+
+TEST(Zipf, SkewOrderingAcrossThetas) {
+  // Hot-key share must increase with theta: uniform < 0.5 < 0.99 <= 1.0-ish.
+  auto hot_share = [](double theta) {
+    ZipfGenerator z(1 << 16, theta, 5);
+    std::uint64_t hot = 0;
+    for (int i = 0; i < 50000; ++i) {
+      if (z.next() < 64) ++hot;
+    }
+    return static_cast<double>(hot) / 50000.0;
+  };
+  const double s0 = hot_share(0.0);
+  const double s05 = hot_share(0.5);
+  const double s099 = hot_share(0.99);
+  const double s1 = hot_share(1.0);
+  EXPECT_LT(s0, s05);
+  EXPECT_LT(s05, s099);
+  EXPECT_GT(s1, s05);
+  EXPECT_GT(s1, 0.25);  // top-64 of 64K keys under harmonic skew
 }
 
 // ---- Benchmark driver -----------------------------------------------------------------

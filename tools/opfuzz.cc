@@ -11,6 +11,12 @@
 //   build/tools/opfuzz --input=crash.bin        # replay a byte string
 //   afl-fuzz -i seeds -o out -- build/tools/opfuzz --input=@@
 //
+// With --fi-pyield / --fi-pfail (or an explicit --fi-schedule) each round
+// also installs a deterministic fault-injection schedule seeded from the
+// round seed, sweeping induced freeze failures and forced yields across the
+// structural transition points (see docs/FAULT_INJECTION.md). A failing
+// round replays exactly from its seed.
+//
 // Byte grammar (2 bytes per op):  [op | config-nibble] [key]
 //   op % 8: 0,1 insert; 2 remove; 3 update; 4 lookup; 5 floor/ceiling;
 //           6 range_for_each; 7 erase_range-ish (range_transform)
@@ -19,12 +25,14 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "benchutil/options.h"
 #include "common/rng.h"
 #include "core/skip_vector.h"
+#include "debug/fault_inject.h"
 
 namespace {
 
@@ -42,10 +50,21 @@ int g_failures = 0;
   } while (0)
 
 bool run_bytes(const std::vector<std::uint8_t>& bytes,
-               const sv::core::Config& cfg) {
+               const sv::core::Config& cfg, std::uint64_t audit_every) {
   Map map(cfg);
   std::map<std::uint64_t, std::uint64_t> oracle;
   std::uint64_t value_seq = 1;
+
+  auto audit = [&](std::size_t step) {
+    const auto rep = map.validate_structure();
+    if (!rep.ok()) {
+      std::fprintf(stderr, "AUDIT FAILED at op %zu:\n%s\n", step,
+                   rep.to_string().c_str());
+      ++g_failures;
+      return false;
+    }
+    return true;
+  };
 
   for (std::size_t step = 0; step + 1 < bytes.size(); step += 2) {
     const std::uint8_t op = bytes[step] % 8;
@@ -117,15 +136,13 @@ bool run_bytes(const std::vector<std::uint8_t>& bytes,
         break;
       }
     }
-    if (step % 512 == 0) {
-      std::string err;
-      FUZZ_CHECK(map.validate(&err), err.c_str());
+    if (audit_every != 0 && step % audit_every == 0 && !audit(step)) {
+      return false;
     }
   }
   // Final audit.
   std::size_t step = bytes.size();
-  std::string err;
-  FUZZ_CHECK(map.validate(&err), err.c_str());
+  if (!audit(step)) return false;
   FUZZ_CHECK(map.size_approx() == oracle.size(), "final size");
   auto it = oracle.begin();
   bool contents_ok = true;
@@ -159,12 +176,49 @@ int main(int argc, char** argv) {
   if (opt.help_requested()) {
     std::printf(
         "opfuzz: byte-driven differential fuzzer (map vs std::map)\n"
-        "  --input=FILE   replay a byte string from FILE\n"
-        "  --rounds=N     PRNG self-fuzz rounds (default 200)\n"
-        "  --ops=N        ops per round (default 4096)\n"
-        "  --seed=N       starting seed (default 1)\n");
+        "  --input=FILE       replay a byte string from FILE\n"
+        "  --rounds=N         PRNG self-fuzz rounds (default 200)\n"
+        "  --ops=N            ops per round (default 4096)\n"
+        "  --seed=N           starting seed (default 1)\n"
+        "  --audit-every=N    full structural audit every N ops (default 512;"
+        " 0 = final only)\n"
+        "  --fi-pyield=F      per-round injection schedule: yield prob\n"
+        "  --fi-pfail=F       per-round injection schedule: freeze-fail prob\n"
+        "  --fi-schedule=S    explicit schedule for every round (overrides"
+        " the two above)\n");
     return 0;
   }
+  const std::uint64_t audit_every = opt.u64("audit-every", 512);
+
+  // Optional fault-injection sweep: every round runs under a deterministic
+  // schedule derived from the round seed, so "round N FAILED" replays with
+  // --seed=N --rounds=1 and the same --fi flags.
+  const double fi_pyield = opt.f64("fi-pyield", 0.0);
+  const double fi_pfail = opt.f64("fi-pfail", 0.0);
+  const std::string fi_spec = opt.str("fi-schedule", "");
+  const bool fi_active = !fi_spec.empty() || fi_pyield > 0 || fi_pfail > 0;
+  sv::debug::Schedule fixed_schedule;
+  if (!fi_spec.empty()) {
+    try {
+      fixed_schedule = sv::debug::Schedule::parse(fi_spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --fi-schedule: %s\n", e.what());
+      return 2;
+    }
+  }
+  auto install_schedule = [&](std::uint64_t round_seed) {
+    if (!fi_active) return;
+    sv::debug::Schedule s;
+    if (!fi_spec.empty()) {
+      s = fixed_schedule;
+    } else {
+      s.seed = round_seed;
+      s.yield_prob = fi_pyield;
+      s.fail_prob = fi_pfail;
+    }
+    sv::debug::FaultInjector::instance().install(s);
+  };
+
   const std::string input = opt.str("input", "");
   if (!input.empty()) {
     std::ifstream f(input, std::ios::binary);
@@ -174,7 +228,9 @@ int main(int argc, char** argv) {
     }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
-    const bool ok = run_bytes(bytes, config_from_seed(opt.u64("seed", 1)));
+    const std::uint64_t seed = opt.u64("seed", 1);
+    install_schedule(seed);
+    const bool ok = run_bytes(bytes, config_from_seed(seed), audit_every);
     std::printf("%s (%zu bytes)\n", ok ? "ok" : "FAILED", bytes.size());
     return ok ? 0 : 1;
   }
@@ -186,11 +242,17 @@ int main(int argc, char** argv) {
     sv::Xoshiro256 rng(seed0 + r);
     std::vector<std::uint8_t> bytes(ops * 2);
     for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
-    if (!run_bytes(bytes, config_from_seed(seed0 + r))) {
+    install_schedule(seed0 + r);
+    if (!run_bytes(bytes, config_from_seed(seed0 + r), audit_every)) {
       std::fprintf(stderr, "round %llu (seed %llu) FAILED\n",
                    static_cast<unsigned long long>(r),
                    static_cast<unsigned long long>(seed0 + r));
     }
+  }
+  if (fi_active) {
+    std::printf("injection: %s\n",
+                sv::debug::FaultInjector::instance().report().c_str());
+    sv::debug::FaultInjector::instance().clear();
   }
   std::printf("opfuzz: %llu rounds x %llu ops, %d failures\n",
               static_cast<unsigned long long>(rounds),

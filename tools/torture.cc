@@ -8,11 +8,17 @@
 //   build/tools/torture --minutes=30 --threads=8 --range=2^16 [...]
 //       --check-every=5 --reclaimer=hp
 //
+// --fi-schedule installs a deterministic fault-injection schedule (e.g.
+// "seed=42;pyield=0.1;pfail=0.05") so the soak exercises induced freeze
+// failures and forced yields at the structural transition points; see
+// docs/FAULT_INJECTION.md.
+//
 // Exits non-zero on the first violation.
 #include <atomic>
 #include <cstdio>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +27,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/skip_vector_epoch.h"
+#include "debug/fault_inject.h"
 
 namespace {
 
@@ -115,8 +122,8 @@ int run(Map& map, const Options& opt) {
     // Quiesce the fleet and audit.
     pause.store(true, std::memory_order_release);
     while (paused.load() < threads) std::this_thread::yield();
-    std::string err;
-    const bool ok = map.validate(&err);
+    const auto rep = map.validate_structure();
+    const bool ok = rep.ok();
     std::uint64_t audit_bad = 0;
     std::size_t population = 0;
     map.for_each([&](std::uint64_t k, std::uint64_t vv) {
@@ -126,8 +133,9 @@ int run(Map& map, const Options& opt) {
     ++checks;
     if (!ok || audit_bad != 0) {
       ++failures;
-      std::fprintf(stderr, "CHECK FAILED: %s, audit_bad=%llu\n", err.c_str(),
-                   static_cast<unsigned long long>(audit_bad));
+      std::fprintf(stderr, "CHECK FAILED (audit_bad=%llu):\n%s\n",
+                   static_cast<unsigned long long>(audit_bad),
+                   rep.to_string().c_str());
     }
     std::printf("[%7.1fs] check #%llu: %s, population=%zu, counters"
                 "(restarts=%llu merges=%llu splits=%llu)\n",
@@ -169,8 +177,19 @@ int main(int argc, char** argv) {
         "  --range=N         key range (default 2^12)\n"
         "  --check-every=F   seconds between quiesced audits (default 5)\n"
         "  --reclaimer=S     hp | ebr | leak (default hp)\n"
+        "  --fi-schedule=S   deterministic fault-injection schedule\n"
         "  --t-index=N --t-data=N --layers=N --merge=F  map tuning\n");
     return 0;
+  }
+  const std::string fi_spec = opt.str("fi-schedule", "");
+  if (!fi_spec.empty()) {
+    try {
+      sv::debug::FaultInjector::instance().install(
+          sv::debug::Schedule::parse(fi_spec));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bad --fi-schedule: %s\n", e.what());
+      return 2;
+    }
   }
   sv::core::Config cfg;
   cfg.target_index_vector_size =
@@ -180,18 +199,27 @@ int main(int argc, char** argv) {
   cfg.layer_count = static_cast<std::uint32_t>(opt.u64("layers", 5));
   cfg.merge_threshold_factor = opt.f64("merge", 1.67);
 
+  auto finish = [&](int rc) {
+    if (!fi_spec.empty()) {
+      std::printf("injection: %s\n",
+                  sv::debug::FaultInjector::instance().report().c_str());
+      sv::debug::FaultInjector::instance().clear();
+    }
+    return rc;
+  };
+
   const std::string reclaimer = opt.str("reclaimer", "hp");
   if (reclaimer == "hp") {
     sv::core::SkipVector<std::uint64_t, std::uint64_t> m(cfg);
-    return run(m, opt);
+    return finish(run(m, opt));
   }
   if (reclaimer == "ebr") {
     sv::core::SkipVectorEpoch<std::uint64_t, std::uint64_t> m(cfg);
-    return run(m, opt);
+    return finish(run(m, opt));
   }
   if (reclaimer == "leak") {
     sv::core::SkipVectorLeak<std::uint64_t, std::uint64_t> m(cfg);
-    return run(m, opt);
+    return finish(run(m, opt));
   }
   std::fprintf(stderr, "unknown --reclaimer=%s\n", reclaimer.c_str());
   return 2;
