@@ -25,6 +25,20 @@ Options::Options(int argc, char** argv) {
   }
 }
 
+void Options::reject_unknown(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : kv_) {
+    bool known = false;
+    for (std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) throw std::invalid_argument("unknown option: --" + key);
+  }
+}
+
 std::uint64_t Options::parse_u64(const std::string& s) {
   if (s.empty()) throw std::invalid_argument("empty integer option");
   const auto caret = s.find('^');

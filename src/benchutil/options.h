@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sv::benchutil {
@@ -24,6 +26,11 @@ class Options {
   // Comma-separated list of u64 (e.g. --threads=1,2,4,8).
   std::vector<std::uint64_t> u64_list(const std::string& name,
                                       std::vector<std::uint64_t> def) const;
+
+  // Throw std::invalid_argument if any parsed option is not in `allowed`.
+  // Opt-in so tools can reject typos (--winodw=...) with a usage error
+  // instead of silently running with the default.
+  void reject_unknown(std::initializer_list<std::string_view> allowed) const;
 
   static std::uint64_t parse_u64(const std::string& s);
 

@@ -1,0 +1,213 @@
+// Concurrent operation-history recording for linearizability checking.
+//
+// Each worker thread appends completed operations (invoke/response TSC
+// timestamps plus the observed result) to its own append-only log; after the
+// run quiesces, merge() produces one History sorted by invocation time.
+// Recording is designed to perturb the system under test as little as
+// possible: the hot path is two tsc_now() calls and a push_back into a
+// pre-reserved per-thread vector -- no locks, no allocation in steady state,
+// no cross-thread traffic.
+//
+// A History can be dumped to / reloaded from a line-oriented text format so
+// a violating run is a replayable artifact: tools/linverify re-checks a dump
+// offline and must reach the same verdict. See docs/LINEARIZABILITY.md.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hw.h"
+
+namespace sv::check {
+
+// One completed operation. Ranges are decomposed into one kRangeObserve
+// per mapping the scan returned, all sharing the scan's invoke/response
+// interval (per-key decomposition; see docs/LINEARIZABILITY.md for what
+// this does and does not check).
+enum class OpKind : std::uint8_t {
+  kLookup = 0,
+  kInsert,
+  kRemove,
+  kUpdate,
+  kRangeObserve,
+};
+
+inline const char* op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kRangeObserve: return "range";
+  }
+  return "?";
+}
+
+inline OpKind op_kind_from_name(const std::string& s) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(OpKind::kRangeObserve);
+       ++i) {
+    if (s == op_kind_name(static_cast<OpKind>(i))) {
+      return static_cast<OpKind>(i);
+    }
+  }
+  throw std::invalid_argument("unknown history op kind: " + s);
+}
+
+struct Event {
+  std::uint64_t invoke_ts = 0;
+  std::uint64_t response_ts = 0;
+  std::uint64_t key = 0;
+  // kInsert/kUpdate: the value written. kLookup/kRangeObserve with
+  // ok == true: the value observed. Otherwise unused.
+  std::uint64_t value = 0;
+  std::uint32_t thread = 0;
+  OpKind kind = OpKind::kLookup;
+  // kInsert/kRemove/kUpdate: the boolean the operation returned.
+  // kLookup/kRangeObserve: whether the key was observed present.
+  bool ok = false;
+};
+
+// A merged, invocation-sorted history.
+struct History {
+  std::vector<Event> events;
+
+  static constexpr const char* kMagic = "# sv-history v1";
+
+  void dump(std::ostream& out) const {
+    out << kMagic << '\n';
+    for (const Event& e : events) {
+      out << "op " << e.thread << ' ' << op_kind_name(e.kind) << ' ' << e.key
+          << ' ' << e.value << ' ' << (e.ok ? 1 : 0) << ' ' << e.invoke_ts
+          << ' ' << e.response_ts << '\n';
+    }
+  }
+
+  // Throws std::runtime_error on malformed input.
+  static History load(std::istream& in) {
+    History h;
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic) {
+      throw std::runtime_error("bad history header (want '" +
+                               std::string(kMagic) + "')");
+    }
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string tag, kind;
+      Event e;
+      int ok = 0;
+      ls >> tag >> e.thread >> kind >> e.key >> e.value >> ok >> e.invoke_ts >>
+          e.response_ts;
+      if (!ls || tag != "op") {
+        throw std::runtime_error("bad history line: " + line);
+      }
+      e.kind = op_kind_from_name(kind);
+      e.ok = ok != 0;
+      if (e.response_ts < e.invoke_ts) {
+        throw std::runtime_error("response before invoke: " + line);
+      }
+      h.events.push_back(e);
+    }
+    return h;
+  }
+};
+
+// Per-thread append-only logs, merged after the run. Thread logs are
+// created on first use and owned by the recorder; merge()/clear() require
+// quiescence (no thread inside a recorded operation).
+class HistoryRecorder {
+ public:
+  class ThreadLog {
+   public:
+    explicit ThreadLog(std::uint32_t tid) : tid_(tid) {
+      events_.reserve(kInitialReserve);
+    }
+
+    void record(OpKind kind, std::uint64_t key, std::uint64_t value, bool ok,
+                std::uint64_t invoke_ts, std::uint64_t response_ts) {
+      events_.push_back(
+          Event{invoke_ts, response_ts, key, value, tid_, kind, ok});
+    }
+
+    std::uint32_t thread_id() const noexcept { return tid_; }
+
+   private:
+    friend class HistoryRecorder;
+    static constexpr std::size_t kInitialReserve = 4096;
+    std::uint32_t tid_;
+    std::vector<Event> events_;
+  };
+
+  HistoryRecorder() : id_(next_id()) {}
+
+  // The calling thread's log (created and registered on first call). The
+  // returned reference stays valid for the recorder's lifetime; the lookup
+  // after the first call is a thread-local hash hit, no lock.
+  ThreadLog& thread_log() {
+    thread_local std::unordered_map<std::uint64_t, ThreadLog*> cache;
+    auto it = cache.find(id_);
+    if (it != cache.end()) return *it->second;
+    std::lock_guard<std::mutex> lk(mu_);
+    logs_.push_back(std::make_unique<ThreadLog>(
+        static_cast<std::uint32_t>(logs_.size())));
+    ThreadLog* log = logs_.back().get();
+    cache.emplace(id_, log);
+    return *log;
+  }
+
+  // Quiescent: merge every thread log into one invocation-sorted history.
+  History merge() const {
+    History h;
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t total = 0;
+    for (const auto& log : logs_) total += log->events_.size();
+    h.events.reserve(total);
+    for (const auto& log : logs_) {
+      h.events.insert(h.events.end(), log->events_.begin(),
+                      log->events_.end());
+    }
+    std::sort(h.events.begin(), h.events.end(),
+              [](const Event& a, const Event& b) {
+                return a.invoke_ts < b.invoke_ts;
+              });
+    return h;
+  }
+
+  // Quiescent: drop all recorded events, keeping the thread registrations
+  // (so a windowed run reuses the logs' capacity window after window).
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& log : logs_) log->events_.clear();
+  }
+
+  // Quiescent: total events currently recorded.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t total = 0;
+    for (const auto& log : logs_) total += log->events_.size();
+    return total;
+  }
+
+ private:
+  static std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::uint64_t id_;  // key for the thread-local log cache
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<ThreadLog>> logs_;
+};
+
+}  // namespace sv::check

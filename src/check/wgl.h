@@ -1,0 +1,315 @@
+// Wing-Gong/Lowe linearizability checker, specialized for the map API.
+//
+// The full history is first partitioned by key: map point operations touch
+// exactly one key, operations on distinct keys commute, and a linearization
+// of the whole history projects to a linearization of every per-key
+// subhistory -- so a per-key violation is a genuine violation of the whole
+// history (no false rejections from the partition), while the per-key state
+// collapses from "the whole map" to a single optional<value>. Range scans
+// are decomposed by the recorder into per-key observations sharing the
+// scan's interval; this checks each observation like a lookup but does NOT
+// check cross-key scan atomicity (tests/range_scan_stress_test.cc covers
+// that angle). See docs/LINEARIZABILITY.md.
+//
+// Per key we run the Wing & Gong tree search with Lowe's two standard
+// refinements:
+//   - interval pruning: only "minimal" operations -- those invoked before
+//     every other pending operation's response -- are linearization
+//     candidates, so the search never explores orders that contradict the
+//     recorded real-time order;
+//   - memoization: a (linearized-set, state) configuration is explored at
+//     most once; revisits backtrack immediately.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/history.h"
+
+namespace sv::check {
+
+struct CheckOptions {
+  // Abort the per-key search after exploring this many configurations and
+  // report the history as undecided (treated as a check failure: a checker
+  // that silently gives up has no teeth). Generous default: clean histories
+  // memoize to near-linear work; only pathological ones approach this.
+  std::size_t max_configs_per_key = 50'000'000;
+};
+
+struct CheckResult {
+  enum class Verdict : std::uint8_t { kLinearizable, kViolation, kUndecided };
+
+  Verdict verdict = Verdict::kLinearizable;
+  bool ok() const noexcept { return verdict == Verdict::kLinearizable; }
+
+  std::uint64_t culprit_key = 0;   // valid unless linearizable
+  std::string explanation;         // human-readable failure summary
+  std::size_t ops_checked = 0;
+  std::size_t keys_checked = 0;
+  std::size_t configs_explored = 0;
+};
+
+namespace detail {
+
+// Per-key sequential specification: an optional mapping whose initial
+// content is UNKNOWN. A history need not start at map creation (bounded
+// windows of a long run, offline dumps), so the lattice has four points:
+// presence unknown, known-absent, present with known value, present with
+// unknown value. The first linearized observation collapses the unknowns;
+// window harnesses ground the state up front with a quiesced read pass
+// (opfuzz --lincheck does) so nothing stays unknown for long.
+struct KeyState {
+  enum class P : std::uint8_t {
+    kUnknown,
+    kAbsent,
+    kPresentKnown,
+    kPresentUnknown,
+  };
+  P p = P::kUnknown;
+  std::uint64_t value = 0;  // meaningful iff kPresentKnown
+
+  bool operator==(const KeyState& o) const noexcept {
+    return p == o.p && (p != P::kPresentKnown || value == o.value);
+  }
+};
+
+// Try to apply `e` to `st`; false if the recorded result is impossible in
+// this state (the candidate cannot linearize here).
+inline bool apply(const Event& e, KeyState& st) noexcept {
+  using P = KeyState::P;
+  const bool may_be_present = st.p != P::kAbsent;
+  const bool may_be_absent = st.p == P::kAbsent || st.p == P::kUnknown;
+  switch (e.kind) {
+    case OpKind::kLookup:
+    case OpKind::kRangeObserve:
+      if (e.ok) {
+        if (!may_be_present) return false;
+        if (st.p == P::kPresentKnown) return st.value == e.value;
+        st.p = P::kPresentKnown;  // observation collapses the unknown
+        st.value = e.value;
+        return true;
+      }
+      if (!may_be_absent) return false;
+      st.p = P::kAbsent;
+      return true;
+    case OpKind::kInsert:
+      if (e.ok) {
+        if (!may_be_absent) return false;
+        st.p = P::kPresentKnown;
+        st.value = e.value;
+        return true;
+      }
+      if (!may_be_present) return false;
+      if (st.p == P::kUnknown) st.p = P::kPresentUnknown;
+      return true;
+    case OpKind::kRemove:
+      if (e.ok) {
+        if (!may_be_present) return false;
+        st.p = P::kAbsent;
+        return true;
+      }
+      if (!may_be_absent) return false;
+      st.p = P::kAbsent;
+      return true;
+    case OpKind::kUpdate:
+      if (e.ok) {
+        if (!may_be_present) return false;
+        st.p = P::kPresentKnown;
+        st.value = e.value;
+        return true;
+      }
+      if (!may_be_absent) return false;
+      st.p = P::kAbsent;
+      return true;
+  }
+  return false;
+}
+
+// A visited configuration: which ops are linearized plus the state they
+// produce. Equal configurations always lead to identical sub-searches.
+struct Config {
+  std::vector<std::uint64_t> linearized;  // bitset, one bit per op
+  KeyState state;
+
+  bool operator==(const Config& o) const noexcept {
+    return state == o.state && linearized == o.linearized;
+  }
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const noexcept {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL *
+                      (1 + static_cast<std::uint64_t>(c.state.p));
+    if (c.state.p == KeyState::P::kPresentKnown) {
+      h ^= 0x9e3779b97f4a7c15ULL ^ c.state.value;
+    }
+    for (std::uint64_t w : c.linearized) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+inline std::string describe(const Event& e) {
+  std::string s = op_kind_name(e.kind);
+  s += "(k=" + std::to_string(e.key);
+  if (e.kind == OpKind::kInsert || e.kind == OpKind::kUpdate) {
+    s += ", v=" + std::to_string(e.value);
+  }
+  s += ") -> ";
+  if (e.kind == OpKind::kLookup || e.kind == OpKind::kRangeObserve) {
+    s += e.ok ? ("found v=" + std::to_string(e.value)) : "absent";
+  } else {
+    s += e.ok ? "true" : "false";
+  }
+  s += " [t" + std::to_string(e.thread) + ", " +
+       std::to_string(e.invoke_ts) + ".." + std::to_string(e.response_ts) +
+       "]";
+  return s;
+}
+
+// WGL search over one key's subhistory (ops sorted by invoke_ts).
+// Returns kLinearizable / kViolation / kUndecided and advances
+// *configs_explored.
+inline CheckResult::Verdict check_key(const std::vector<Event>& ops,
+                                      const CheckOptions& opt,
+                                      std::size_t* configs_explored,
+                                      std::string* explanation) {
+  const std::size_t n = ops.size();
+  const std::size_t words = (n + 63) / 64;
+
+  Config cur;
+  cur.linearized.assign(words, 0);
+  std::size_t done = 0;
+
+  auto is_set = [&](std::size_t i) {
+    return (cur.linearized[i / 64] >> (i % 64)) & 1u;
+  };
+
+  // DFS frame: which candidate index we linearized, and the state before.
+  struct Frame {
+    std::size_t op;
+    KeyState prev_state;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(n);
+  std::unordered_set<Config, ConfigHash> seen;
+
+  // Find the next linearizable candidate with index >= from: unlinearized,
+  // minimal (invoked before every other pending op's response), and whose
+  // recorded result is possible in the current state.
+  auto next_candidate = [&](std::size_t from) -> std::size_t {
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_set(i) && ops[i].response_ts < min_response) {
+        min_response = ops[i].response_ts;
+      }
+    }
+    for (std::size_t i = from; i < n; ++i) {
+      if (is_set(i)) continue;
+      if (ops[i].invoke_ts > min_response) break;  // sorted by invoke_ts
+      KeyState tmp = cur.state;
+      if (apply(ops[i], tmp)) return i;
+    }
+    return n;
+  };
+
+  std::size_t from = 0;
+  std::size_t deepest = 0;
+  for (;;) {
+    if (done == n) return CheckResult::Verdict::kLinearizable;
+    if (++*configs_explored > opt.max_configs_per_key) {
+      if (explanation) {
+        *explanation = "search budget exhausted after " +
+                       std::to_string(*configs_explored) + " configurations";
+      }
+      return CheckResult::Verdict::kUndecided;
+    }
+    const std::size_t i = next_candidate(from);
+    if (i < n) {
+      Frame f{i, cur.state};
+      apply(ops[i], cur.state);
+      cur.linearized[i / 64] |= std::uint64_t{1} << (i % 64);
+      ++done;
+      if (seen.insert(cur).second) {
+        stack.push_back(f);
+        deepest = std::max(deepest, done);
+        from = 0;
+        continue;
+      }
+      // Already explored this configuration: undo and try the next sibling.
+      cur.linearized[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+      cur.state = f.prev_state;
+      --done;
+      from = i + 1;
+      continue;
+    }
+    // No candidate linearizes from here: backtrack.
+    if (stack.empty()) {
+      if (explanation) {
+        // Report the frontier ops that could not be ordered. Re-derive the
+        // pending minimal set at the deepest dead end we reached from the
+        // root for a readable message.
+        *explanation =
+            "no linearization order exists (search stuck after " +
+            std::to_string(deepest) + "/" + std::to_string(n) +
+            " ops); first unresolvable ops:";
+        std::size_t listed = 0;
+        for (std::size_t j = 0; j < n && listed < 4; ++j) {
+          if (!is_set(j)) {
+            *explanation += "\n  " + describe(ops[j]);
+            ++listed;
+          }
+        }
+      }
+      return CheckResult::Verdict::kViolation;
+    }
+    const Frame f = stack.back();
+    stack.pop_back();
+    cur.linearized[f.op / 64] &= ~(std::uint64_t{1} << (f.op % 64));
+    cur.state = f.prev_state;
+    --done;
+    from = f.op + 1;
+  }
+}
+
+}  // namespace detail
+
+// Check a merged history for per-key linearizability against the map
+// specification. Events must have response_ts >= invoke_ts; History::load
+// and HistoryRecorder both guarantee it.
+inline CheckResult check_history(const History& h,
+                                 const CheckOptions& opt = {}) {
+  CheckResult res;
+  res.ops_checked = h.events.size();
+
+  std::unordered_map<std::uint64_t, std::vector<Event>> by_key;
+  for (const Event& e : h.events) by_key[e.key].push_back(e);
+
+  for (auto& [key, ops] : by_key) {
+    ++res.keys_checked;
+    // check_key requires invoke_ts order; merged histories already have it,
+    // but a loaded (possibly hand-edited) dump may not.
+    std::stable_sort(ops.begin(), ops.end(), [](const Event& a,
+                                                const Event& b) {
+      return a.invoke_ts < b.invoke_ts;
+    });
+    std::string explanation;
+    const auto verdict = detail::check_key(ops, opt, &res.configs_explored,
+                                           &explanation);
+    if (verdict != CheckResult::Verdict::kLinearizable) {
+      res.verdict = verdict;
+      res.culprit_key = key;
+      res.explanation = "key " + std::to_string(key) + ": " + explanation;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace sv::check

@@ -1,8 +1,14 @@
 // Hardware-related constants and small helpers.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
 
 namespace sv {
 
@@ -16,6 +22,25 @@ inline void cpu_relax() noexcept {
   __builtin_ia32_pause();
 #else
   std::this_thread::yield();
+#endif
+}
+
+// Serialized cross-thread timestamp for history recording (src/check/):
+// invariant-TSC cycles on x86-64, fenced on both sides so the stamp cannot
+// drift into the operation it brackets; steady_clock nanoseconds elsewhere.
+// Values are comparable across threads but carry no fixed unit -- only the
+// happens-before order of (response, invoke) pairs is consumed.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__)
+  _mm_lfence();
+  const std::uint64_t t = __rdtsc();
+  _mm_lfence();
+  return t;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 #endif
 }
 

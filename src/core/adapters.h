@@ -1,15 +1,113 @@
 // Adapters layering the paper's §I motivating abstractions over the skip
-// vector: an ordered set and a concurrent priority queue (skip lists are a
-// standard substrate for both [4], [5]).
+// vector: an ordered set, a concurrent priority queue (skip lists are a
+// standard substrate for both [4], [5]), and a history-recording wrapper
+// feeding the linearizability checker in src/check/.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "check/history.h"
 #include "core/skip_vector.h"
 
 namespace sv::core {
+
+// RecordingMap: wraps any map exposing (a subset of) the common map API --
+// insert/remove/update/lookup/range_for_each -- and records every completed
+// operation into a check::HistoryRecorder for post-run linearizability
+// checking (src/check/wgl.h). One adapter serves every implementation:
+// SkipVectorMap with any reclaimer, ShardedSkipVector, and the baselines.
+// Member templates instantiate lazily, so wrapping a map without e.g.
+// update() is fine as long as update() is never called.
+//
+// Range scans are recorded as one kRangeObserve event per mapping returned,
+// all sharing the scan's invoke/response interval (per-key decomposition --
+// cross-key scan atomicity is covered by tests/range_scan_stress_test.cc,
+// not by the checker; see docs/LINEARIZABILITY.md).
+//
+// Pass recorder == nullptr to disable recording entirely; the wrapper then
+// only forwards, which is how the recorder's overhead is measured
+// (tools/opfuzz --lincheck --measure-overhead).
+template <class Inner, class K = std::uint64_t, class V = std::uint64_t>
+class RecordingMap {
+ public:
+  template <class... Args>
+  explicit RecordingMap(check::HistoryRecorder* recorder, Args&&... args)
+      : recorder_(recorder), inner_(std::forward<Args>(args)...) {}
+
+  Inner& inner() noexcept { return inner_; }
+  const Inner& inner() const noexcept { return inner_; }
+
+  bool insert(K k, V v) {
+    if (recorder_ == nullptr) return inner_.insert(k, v);
+    auto& log = recorder_->thread_log();
+    const std::uint64_t t0 = tsc_now();
+    const bool ok = inner_.insert(k, v);
+    const std::uint64_t t1 = tsc_now();
+    log.record(check::OpKind::kInsert, k, v, ok, t0, t1);
+    return ok;
+  }
+
+  bool remove(K k) {
+    if (recorder_ == nullptr) return inner_.remove(k);
+    auto& log = recorder_->thread_log();
+    const std::uint64_t t0 = tsc_now();
+    const bool ok = inner_.remove(k);
+    const std::uint64_t t1 = tsc_now();
+    log.record(check::OpKind::kRemove, k, 0, ok, t0, t1);
+    return ok;
+  }
+
+  bool update(K k, V v) {
+    if (recorder_ == nullptr) return inner_.update(k, v);
+    auto& log = recorder_->thread_log();
+    const std::uint64_t t0 = tsc_now();
+    const bool ok = inner_.update(k, v);
+    const std::uint64_t t1 = tsc_now();
+    log.record(check::OpKind::kUpdate, k, v, ok, t0, t1);
+    return ok;
+  }
+
+  std::optional<V> lookup(K k) {
+    if (recorder_ == nullptr) return inner_.lookup(k);
+    auto& log = recorder_->thread_log();
+    const std::uint64_t t0 = tsc_now();
+    const std::optional<V> got = inner_.lookup(k);
+    const std::uint64_t t1 = tsc_now();
+    log.record(check::OpKind::kLookup, k, got ? *got : 0, got.has_value(), t0,
+               t1);
+    return got;
+  }
+
+  template <class Fn>
+  std::size_t range_for_each(K lo, K hi, Fn&& fn) {
+    if (recorder_ == nullptr) return inner_.range_for_each(lo, hi, fn);
+    auto& log = recorder_->thread_log();
+    std::vector<std::pair<K, V>> observed;  // per-call: adapter is shared
+    const std::uint64_t t0 = tsc_now();
+    const std::size_t n = inner_.range_for_each(lo, hi, [&](K k, V v) {
+      observed.emplace_back(k, v);
+      fn(k, v);
+    });
+    const std::uint64_t t1 = tsc_now();
+    for (const auto& [k, v] : observed) {
+      log.record(check::OpKind::kRangeObserve, k, v, /*ok=*/true, t0, t1);
+    }
+    return n;
+  }
+
+  std::size_t size_approx() const { return inner_.size_approx(); }
+
+  bool validate(std::string* err = nullptr) const {
+    return inner_.validate(err);
+  }
+
+ private:
+  check::HistoryRecorder* recorder_;
+  Inner inner_;
+};
 
 // Ordered set of keys.
 template <class K, class Reclaimer = reclaim::HazardReclaimer>

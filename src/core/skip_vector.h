@@ -1002,6 +1002,12 @@ class SkipVectorMap {
         }
         SV_FAULT_POINT(debug::Point::kMerge);  // both write locks held
         orphan_merges_.fetch_add(1, std::memory_order_relaxed);
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+        // Mutation site (checker-teeth testing only): when fired, unlink the
+        // orphan WITHOUT absorbing its elements -- every mapping it held
+        // silently vanishes. See docs/LINEARIZABILITY.md.
+        if (!SV_FAULT_SHOULD_FAIL(debug::Point::kMutDropMerge))
+#endif
         node_merge_from(t.node, next);
         t.node->next.store(next->next.load(std::memory_order_relaxed),
                            std::memory_order_release);
@@ -1085,6 +1091,11 @@ class SkipVectorMap {
     // Layers [lowest_frozen, height] are frozen by us; kMaxLayers + 1 means
     // "nothing frozen yet".
     std::uint32_t lowest_frozen = Config::kMaxLayers + 1;
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+    // mut-skip-freeze fired: run the data-layer write with no seqlock at
+    // all (checker-teeth testing only; see try_insert).
+    bool mut_unlocked = false;
+#endif
   };
 
   void thaw_all(InsertState& st, std::uint32_t height) {
@@ -1151,6 +1162,20 @@ class SkipVectorMap {
     // Data layer.
     if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
     if (SV_FAULT_SHOULD_FAIL(debug::Point::kFreeze)) return false;
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+    // Mutation site (checker-teeth testing only): when fired, skip the
+    // data-layer freeze entirely -- the write phase then mutates the chunk
+    // with NO seqlock transition, so concurrent readers validate
+    // successfully against torn mid-shift states and concurrent writers'
+    // upgrades succeed on a chunk being rewritten. Ordinary (height 0)
+    // inserts only, so index layers keep their legitimate freezes.
+    if (height == 0 && SV_FAULT_SHOULD_FAIL(debug::Point::kMutSkipFreeze)) {
+      st.prevs[0] = t.node;
+      st.lowest_frozen = 0;
+      st.mut_unlocked = true;
+      return insert_write_phase(ctx, k, v, height, st, result);
+    }
+#endif
     if (!t.node->lock.try_freeze(t.ver)) return false;
     st.prevs[0] = t.node;
     st.lowest_frozen = 0;
@@ -1202,6 +1227,34 @@ class SkipVectorMap {
     // At the chosen height, k joins an existing chunk (lines 40-42),
     // splitting it at capacity first (creating an orphan, Fig. 3d).
     NodeBase* prev = st.prevs[height];
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+    if (st.mut_unlocked) {
+      // mut-skip-freeze (see try_insert): replay the split's element
+      // migration with NO lock transition at all. The chunk's upper half
+      // is erased, invisible for the duration of the nested point
+      // (pyield@/pdelay@mut-skip-freeze widen the window), then restored
+      // -- concurrent readers validate successfully against precisely the
+      // intermediate state the freeze protocol exists to hide. Everything
+      // is an in-place atomic slot write: no next-pointer edits, no
+      // allocation, no retirement, so the injected bug is purely a
+      // linearizability violation, never a memory-safety one.
+      auto* dn = as_data(prev);
+      std::vector<std::pair<K, V>> all;
+      dn->vec.for_each([&](K dk, V dv) { all.emplace_back(dk, dv); });
+      std::sort(all.begin(), all.end());
+      std::vector<std::pair<K, V>> hidden(all.begin() + (all.size() + 1) / 2,
+                                          all.end());
+      for (const auto& [hk, hv] : hidden) dn->vec.erase(hk);
+      SV_FAULT_POINT(debug::Point::kMutSkipFreeze);
+      for (const auto& [hk, hv] : hidden) dn->vec.insert(hk, hv);
+      dn->vec.insert(k, v);  // best effort: a full chunk drops the insert
+      st.lowest_frozen = Config::kMaxLayers + 1;
+      st.mut_unlocked = false;
+      ctx.drop_all();
+      result = true;
+      return true;
+    }
+#endif
     prev->lock.upgrade_frozen();
     if (height == 0) {
       insert_at_top<DataNode, V>(as_data(prev), k, v);
@@ -1292,6 +1345,19 @@ class SkipVectorMap {
         return false;  // racing Insert placed k here with height > 0
       }
       if (!t.node->lock.try_upgrade(t.ver)) return false;
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+      // Mutation site (checker-teeth testing only): when fired, release the
+      // seqlock BEFORE performing the erase. The release bumps the version,
+      // so speculative readers of this chunk validate successfully against
+      // the torn mid-erase element set.
+      if (SV_FAULT_SHOULD_FAIL(debug::Point::kMutEarlyRelease)) {
+        t.node->lock.release();
+        std::this_thread::yield();  // widen the torn window
+        result = as_data(t.node)->vec.erase(k);
+        ctx.drop_all();
+        return true;
+      }
+#endif
       result = as_data(t.node)->vec.erase(k);
       t.node->lock.release();
       ctx.drop_all();

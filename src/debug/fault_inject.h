@@ -31,6 +31,18 @@ enum class Point : std::uint8_t {
   kThaw,            // thaw_all: node still frozen, about to thaw
   kResume,          // try_insert: resuming descent from a frozen checkpoint
   kRetire,          // reclaimer: node handed to deferred reclamation
+  // Mutation points: firing one of these does not merely perturb timing, it
+  // INTRODUCES a seeded ordering bug at the site (skip a correctness-
+  // critical step). They exist so the linearizability checker can be
+  // mutation-tested -- proving it rejects histories of a broken map, not
+  // just that a correct map passes. Global pyield/pfail never trigger them;
+  // only explicit rules or per-point probabilities do (see decide()).
+  kMutDropMerge,    // traverse_right: merge unlinks the orphan but DROPS its
+                    // elements (lost keys)
+  kMutSkipFreeze,   // try_insert: data-layer freeze skipped; the write phase
+                    // runs without exclusive reservation (racing writers)
+  kMutEarlyRelease, // try_remove: seqlock released BEFORE the erase; readers
+                    // can validate against a torn chunk
   kCount
 };
 
@@ -44,8 +56,18 @@ inline const char* point_name(Point p) noexcept {
     case Point::kThaw: return "thaw";
     case Point::kResume: return "resume";
     case Point::kRetire: return "retire";
+    case Point::kMutDropMerge: return "mut-drop-merge";
+    case Point::kMutSkipFreeze: return "mut-skip-freeze";
+    case Point::kMutEarlyRelease: return "mut-early-release";
     default: return "?";
   }
+}
+
+// Mutation points deliberately break the algorithm when fired (see above);
+// they must never fire from the blanket probabilistic knobs.
+inline constexpr bool is_mutation_point(Point p) noexcept {
+  return p == Point::kMutDropMerge || p == Point::kMutSkipFreeze ||
+         p == Point::kMutEarlyRelease;
 }
 
 }  // namespace sv::debug
@@ -87,14 +109,35 @@ struct Schedule {
     Action action = Action::kYield;
   };
 
+  static constexpr std::size_t kPointCount =
+      static_cast<std::size_t>(Point::kCount);
+
   std::uint64_t seed = 0;
   double yield_prob = 0.0;
   double fail_prob = 0.0;
+  // Per-point overrides of the global probabilities; < 0 means unset. The
+  // only way (besides explicit rules) to drive mutation points, which the
+  // global probabilities deliberately skip.
+  std::array<double, kPointCount> point_yield_prob = unset_probs();
+  std::array<double, kPointCount> point_fail_prob = unset_probs();
+  // Per-point spin-delay probability (no global counterpart: a blanket
+  // delay sweep is just a slow run; a targeted one widens a specific race
+  // window by orders of magnitude more than a yield).
+  std::array<double, kPointCount> point_delay_prob = unset_probs();
   std::vector<Rule> rules;
 
+  static std::array<double, kPointCount> unset_probs() {
+    std::array<double, kPointCount> a;
+    a.fill(-1.0);
+    return a;
+  }
+
   // Format (';' or ',' separated, whitespace-free):
-  //   seed=N | pyield=F | pfail=F | <point>@<hit>=<yield|delay|fail>
-  // e.g. "seed=42;pyield=0.25;freeze@2=fail;merge@1=yield"
+  //   seed=N | pyield=F | pfail=F
+  //   | pyield@<point>=F | pfail@<point>=F        (per-point probability)
+  //   | pdelay@<point>=F                          (per-point spin delay)
+  //   | <point>@<hit>=<yield|delay|fail>          (pinpoint rule, 1-based)
+  // e.g. "seed=42;pyield=0.25;freeze@2=fail;pfail@mut-drop-merge=1"
   static Schedule parse(const std::string& spec) {
     Schedule s;
     std::size_t pos = 0;
@@ -116,6 +159,19 @@ struct Schedule {
         s.yield_prob = std::stod(val);
       } else if (key == "pfail") {
         s.fail_prob = std::stod(val);
+      } else if (key.rfind("pyield@", 0) == 0 || key.rfind("pfail@", 0) == 0 ||
+                 key.rfind("pdelay@", 0) == 0) {
+        const Point p = point_from_name(key.substr(key.find('@') + 1));
+        const double f = std::stod(val);
+        if (f < 0 || f > 1) {
+          throw std::invalid_argument("per-point probability out of [0, 1]: " +
+                                      tok);
+        }
+        auto& probs = key[1] == 'y'
+                          ? s.point_yield_prob
+                          : (key[1] == 'f' ? s.point_fail_prob
+                                           : s.point_delay_prob);
+        probs[static_cast<std::size_t>(p)] = f;
       } else {
         const std::size_t at = key.find('@');
         if (at == std::string::npos) {
@@ -154,6 +210,23 @@ struct Schedule {
     if (fail_prob > 0) {
       std::snprintf(buf, sizeof(buf), ";pfail=%g", fail_prob);
       out += buf;
+    }
+    for (std::size_t i = 0; i < kPointCount; ++i) {
+      if (point_yield_prob[i] >= 0) {
+        std::snprintf(buf, sizeof(buf), ";pyield@%s=%g",
+                      point_name(static_cast<Point>(i)), point_yield_prob[i]);
+        out += buf;
+      }
+      if (point_fail_prob[i] >= 0) {
+        std::snprintf(buf, sizeof(buf), ";pfail@%s=%g",
+                      point_name(static_cast<Point>(i)), point_fail_prob[i]);
+        out += buf;
+      }
+      if (point_delay_prob[i] >= 0) {
+        std::snprintf(buf, sizeof(buf), ";pdelay@%s=%g",
+                      point_name(static_cast<Point>(i)), point_delay_prob[i]);
+        out += buf;
+      }
     }
     for (const Rule& r : rules) {
       out += ';';
@@ -317,14 +390,24 @@ class FaultInjector {
     }
     const std::uint64_t h = mix(schedule_.seed ^
                                 (static_cast<std::uint64_t>(p) << 56) ^ hit);
-    if (failable && schedule_.fail_prob > 0 &&
-        unit(h) < schedule_.fail_prob) {
-      return Decision::kFail;
+    // Per-point probabilities override the globals; mutation points are
+    // reachable ONLY through rules or per-point probabilities, so blanket
+    // pyield/pfail sweeps never inject deliberate bugs.
+    const std::size_t pi = static_cast<std::size_t>(p);
+    double pf = schedule_.point_fail_prob[pi];
+    double py = schedule_.point_yield_prob[pi];
+    double pd = schedule_.point_delay_prob[pi];
+    if (pd < 0) pd = 0;  // delays have no global fallback
+    if (is_mutation_point(p)) {
+      if (pf < 0) pf = 0;
+      if (py < 0) py = 0;
+    } else {
+      if (pf < 0) pf = schedule_.fail_prob;
+      if (py < 0) py = schedule_.yield_prob;
     }
-    if (schedule_.yield_prob > 0 &&
-        unit(mix(h)) < schedule_.yield_prob) {
-      return Decision::kYield;
-    }
+    if (failable && pf > 0 && unit(h) < pf) return Decision::kFail;
+    if (pd > 0 && unit(mix(h ^ 0xd1ce5bu)) < pd) return Decision::kDelay;
+    if (py > 0 && unit(mix(h)) < py) return Decision::kYield;
     return Decision::kNone;
   }
 

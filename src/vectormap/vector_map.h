@@ -200,7 +200,7 @@ class VectorMap {
   // Insert a new mapping; the key must not be present. Returns false when
   // the chunk is at capacity (caller must split first).
   bool insert(K k, V v) noexcept {
-    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    const std::uint32_t n = size();  // clamped: see size() comment
     if (n >= capacity_) return false;
     if constexpr (kSorted) {
       std::uint32_t pos = upper_bound(k, n);
@@ -233,7 +233,11 @@ class VectorMap {
     if (idx < 0) return false;
     const auto i = static_cast<std::uint32_t>(idx);
     if (out != nullptr) *out = load_val(i);
-    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    // Clamped size plus an explicit empty guard: under fault-injection
+    // mutations a racing writer can shrink the chunk between find_index and
+    // here; n - 1 must never wrap and the shift loop must stay in bounds.
+    const std::uint32_t n = size();
+    if (n == 0) return false;
     if constexpr (kSorted) {
       for (std::uint32_t j = i + 1; j < n; ++j) {
         store_key(j - 1, load_key(j));
@@ -257,7 +261,7 @@ class VectorMap {
   // suffix.
   template <Layout kOther>
   void steal_greater(K pivot, VectorMap<K, V, kOther>& dst) noexcept {
-    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    const std::uint32_t n = size();  // clamped: see size() comment
     if constexpr (kSorted) {
       const std::uint32_t pos = upper_bound(pivot, n);
       for (std::uint32_t i = pos; i < n; ++i) {
@@ -300,7 +304,7 @@ class VectorMap {
   // Implementation helper for merge_from (needs access to src internals).
   template <Layout kOther>
   void drain_into(VectorMap<K, V, kOther>& dst) noexcept {
-    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    const std::uint32_t n = size();  // clamped: see size() comment
     if constexpr (kSorted) {
       for (std::uint32_t i = 0; i < n; ++i) dst.insert(load_key(i),
                                                        load_val(i));
@@ -413,7 +417,10 @@ class VectorMap {
 
   // Key such that exactly floor(n/2) elements are <= it (writer context).
   K median_key() const {
-    const std::uint32_t n = size_.load(std::memory_order_relaxed);
+    // Clamped size plus an empty guard: under fault-injection mutations a
+    // racing writer can empty the chunk; (n - 1) / 2 must never wrap.
+    const std::uint32_t n = size();
+    if (n == 0) return K{};
     if constexpr (kSorted) {
       return load_key((n - 1) / 2);
     } else {

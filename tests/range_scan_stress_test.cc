@@ -1,0 +1,145 @@
+// Range scans racing structural churn (splits, merges, steal-above),
+// executed identically across every reclamation policy. Scans must return
+// legal snapshots: strictly ascending keys inside the requested interval,
+// no duplicates, no phantoms (keys never inserted), values consistent with
+// their keys, and permanently-resident anchor keys always observed. A
+// global yield schedule on the structural fault-injection points widens the
+// split/merge windows the scans race against.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/skip_vector.h"
+#include "core/skip_vector_epoch.h"
+#include "debug/fault_inject.h"
+
+namespace sv::core {
+namespace {
+
+template <class R>
+struct Policy {
+  using Reclaimer = R;
+};
+
+using Policies =
+    testing::Types<Policy<reclaim::HazardReclaimer>,
+                   Policy<reclaim::EpochReclaimer>,
+                   Policy<reclaim::LeakReclaimer>>;
+
+template <class P>
+class RangeScanStressTest : public testing::Test {
+ protected:
+  using Map = SkipVectorMap<std::uint64_t, std::uint64_t,
+                            typename P::Reclaimer>;
+
+  // Tiny chunks so churn constantly splits and merges data vectors.
+  static Config Cfg() {
+    Config c;
+    c.layer_count = 4;
+    c.target_data_vector_size = 4;
+    c.target_index_vector_size = 4;
+    return c;
+  }
+
+#if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
+  void SetUp() override {
+    debug::FaultInjector::instance().install(
+        debug::Schedule::parse("seed=5;pyield=0.1"));
+  }
+  void TearDown() override { debug::FaultInjector::instance().clear(); }
+#endif
+};
+
+TYPED_TEST_SUITE(RangeScanStressTest, Policies);
+
+TYPED_TEST(RangeScanStressTest, ScansObserveLegalSnapshots) {
+  typename TestFixture::Map m(TestFixture::Cfg());
+  constexpr std::uint64_t kRange = 1024;
+  constexpr std::uint64_t kAnchorStride = 16;  // anchors never removed
+
+  for (std::uint64_t k = kAnchorStride; k < kRange; k += kAnchorStride) {
+    ASSERT_TRUE(m.insert(k, (k << 32) | 1));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> threads;
+
+  // Mutators: churn the non-anchor keys hard enough that chunks split,
+  // drain, merge, and steal-above continuously.
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(100 + t);
+      for (int i = 0; i < 12000; ++i) {
+        const std::uint64_t k = 1 + rng.next_below(kRange - 1);
+        if (k % kAnchorStride == 0) continue;
+        switch (rng.next_below(4)) {
+          case 0:
+          case 1:
+            m.insert(k, (k << 32) | 2);
+            break;
+          case 2:
+            m.remove(k);
+            break;
+          default:
+            m.update(k, (k << 32) | 3);
+            break;
+        }
+      }
+    });
+  }
+
+  // Scanners: overlapping windows; every snapshot must be legal.
+  for (int s = 0; s < 3; ++s) {
+    threads.emplace_back([&, s] {
+      Xoshiro256 rng(200 + s);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t lo = 1 + rng.next_below(kRange - 300);
+        const std::uint64_t hi = lo + 64 + rng.next_below(256);
+        got.clear();
+        m.range_for_each(lo, hi, [&](std::uint64_t k, std::uint64_t v) {
+          got.emplace_back(k, v);
+        });
+        // In-interval, strictly ascending (=> no duplicates), no phantoms
+        // beyond the workload's key universe, values tagged with their key.
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (const auto& [k, v] : got) {
+          if (k < lo || k > hi) errors.fetch_add(1);
+          if (!first && k <= prev) errors.fetch_add(1);
+          if (k == 0 || k >= kRange) errors.fetch_add(1);
+          if ((v >> 32) != k) errors.fetch_add(1);
+          prev = k;
+          first = false;
+        }
+        // Anchors are never removed: a scan that misses one saw an illegal
+        // snapshot (e.g. a key hidden mid-split).
+        std::size_t gi = 0;
+        for (std::uint64_t a = ((lo + kAnchorStride - 1) / kAnchorStride) *
+                               kAnchorStride;
+             a <= hi && a < kRange; a += kAnchorStride) {
+          while (gi < got.size() && got[gi].first < a) ++gi;
+          if (gi >= got.size() || got[gi].first != a) errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true);
+  for (std::size_t t = 4; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(errors.load(), 0u);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+}  // namespace
+}  // namespace sv::core

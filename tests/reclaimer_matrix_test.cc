@@ -7,11 +7,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "check/wgl.h"
 #include "common/rng.h"
+#include "core/adapters.h"
 #include "core/skip_vector.h"
 #include "core/skip_vector_epoch.h"
 
@@ -151,6 +154,63 @@ TYPED_TEST(ReclaimerMatrixTest, RepeatedFillDrainCycles) {
     for (auto& th : threads) th.join();
     std::string err;
     ASSERT_TRUE(m.validate(&err)) << err << " cycle " << cycle;
+  }
+}
+
+// Every reclamation policy must also produce linearizable recorded
+// histories: the same RecordingMap + WGL pipeline the lincheck harness uses
+// (tools/opfuzz --lincheck, docs/LINEARIZABILITY.md), run as a short
+// windowed workload per policy.
+TYPED_TEST(ReclaimerMatrixTest, RecordedHistoryIsLinearizable) {
+  constexpr std::uint64_t kKeys = 64;
+  constexpr int kThreads = 4;
+  constexpr int kWindows = 2;
+  check::HistoryRecorder rec;
+  RecordingMap<typename TestFixture::Map> map(&rec, TestFixture::Cfg());
+
+  for (int w = 0; w < kWindows; ++w) {
+    // Ground the window: sequential lookups pin each key's initial state.
+    for (std::uint64_t k = 1; k <= kKeys; ++k) map.lookup(k);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t, w] {
+        Xoshiro256 rng(31 * w + t);
+        for (int i = 0; i < 2000; ++i) {
+          const std::uint64_t k = 1 + rng.next_below(kKeys);
+          const std::uint64_t v = (static_cast<std::uint64_t>(t) << 48) |
+                                  static_cast<std::uint64_t>(i);
+          switch (rng.next_below(8)) {
+            case 0:
+            case 1:
+            case 2:
+              map.insert(k, v);
+              break;
+            case 3:
+            case 4:
+              map.remove(k);
+              break;
+            case 5:
+              map.update(k, v);
+              break;
+            case 6:
+              map.range_for_each(k, k + 8,
+                                 [](std::uint64_t, std::uint64_t) {});
+              break;
+            default:
+              map.lookup(k);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const check::History h = rec.merge();
+    const check::CheckResult res = check::check_history(h);
+    std::stringstream dump;
+    if (!res.ok()) h.dump(dump);
+    ASSERT_TRUE(res.ok()) << "window " << w << ": " << res.explanation << "\n"
+                          << dump.str();
+    rec.clear();
   }
 }
 

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <thread>
 #include <vector>
@@ -143,6 +145,95 @@ TEST(Sharded, ConcurrentStressPerShardIsolation) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(bad.load(), 0u);
+  EXPECT_TRUE(m.validate());
+}
+
+// Cross-shard ranges under full concurrency: 8 threads over 8 shards, half
+// mutating and half scanning ranges that straddle several shard boundaries
+// (including range_transform). A watchdog aborts the process if the test
+// wedges -- a cross-shard scan that deadlocks against per-shard mutators
+// would otherwise hang until the ctest TIMEOUT.
+TEST(Sharded, ConcurrentCrossShardRanges) {
+  constexpr std::uint64_t kSpace = 1024;
+  constexpr std::uint64_t kAnchorStride = 32;  // anchors never removed
+  ShardedSkipVector<std::uint64_t, std::uint64_t> m(kSpace, 8, Tiny());
+  for (std::uint64_t k = 0; k < kSpace; k += kAnchorStride) {
+    ASSERT_TRUE(m.insert(k, (k << 32) | 1));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread watchdog([&done] {
+    for (int i = 0; i < 120 * 10; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (done.load()) return;
+    }
+    std::fprintf(stderr, "ConcurrentCrossShardRanges wedged; aborting\n");
+    std::_Exit(3);
+  });
+
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(400 + t);
+      for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t k = rng.next_below(kSpace);
+        if (k % kAnchorStride == 0) continue;
+        switch (rng.next_below(4)) {
+          case 0:
+          case 1:
+            m.insert(k, (k << 32) | 2);
+            break;
+          case 2:
+            m.remove(k);
+            break;
+          default:
+            m.update(k, (k << 32) | 3);
+            break;
+        }
+      }
+    });
+  }
+  for (int s = 0; s < 4; ++s) {
+    threads.emplace_back([&, s] {
+      Xoshiro256 rng(500 + s);
+      for (int i = 0; i < 2000; ++i) {
+        // Spans kSpace/8-wide shards: 300..700-wide windows cross 2-6.
+        const std::uint64_t lo = rng.next_below(kSpace - 700);
+        const std::uint64_t hi = lo + 300 + rng.next_below(400);
+        std::uint64_t prev = 0;
+        bool first = true;
+        std::vector<std::uint64_t> seen;
+        m.range_for_each(lo, hi, [&](std::uint64_t k, std::uint64_t v) {
+          if (k < lo || k > hi) errors.fetch_add(1);
+          if (!first && k <= prev) errors.fetch_add(1);
+          if ((v >> 32) != k) errors.fetch_add(1);
+          prev = k;
+          first = false;
+          seen.push_back(k);
+        });
+        // Every anchor inside [lo, hi] must appear in every snapshot.
+        std::size_t gi = 0;
+        for (std::uint64_t a = ((lo + kAnchorStride - 1) / kAnchorStride) *
+                               kAnchorStride;
+             a <= hi && a < kSpace; a += kAnchorStride) {
+          while (gi < seen.size() && seen[gi] < a) ++gi;
+          if (gi >= seen.size() || seen[gi] != a) errors.fetch_add(1);
+        }
+        // Occasionally mutate across shard boundaries too.
+        if (i % 64 == 0) {
+          m.range_transform(lo, lo + 200,
+                            [](std::uint64_t k, std::uint64_t) {
+                              return (k << 32) | 3;
+                            });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  done.store(true);
+  watchdog.join();
+  EXPECT_EQ(errors.load(), 0u);
   EXPECT_TRUE(m.validate());
 }
 

@@ -1,0 +1,83 @@
+// linverify: offline linearizability re-check of a dumped history.
+//
+// Reads the line-oriented history format written by HistoryRecorder /
+// opfuzz --lincheck (see src/check/history.h) and runs the same WGL checker
+// the online harness uses, so a dumped violation is a standalone,
+// shareable, re-verifiable artifact:
+//
+//   build/tools/linverify --input=lincheck-fail-seed7-w2.hist
+//
+// Exit codes: 0 = linearizable, 1 = violation (or search budget
+// exhausted), 2 = bad arguments / unreadable or malformed input.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "benchutil/options.h"
+#include "check/wgl.h"
+
+int main(int argc, char** argv) {
+  constexpr int kExitOk = 0;
+  constexpr int kExitCheckFailed = 1;
+  constexpr int kExitUsage = 2;
+
+  std::string input;
+  sv::check::CheckOptions copt;
+  bool quiet = false;
+  try {
+    sv::benchutil::Options opt(argc, argv);
+    opt.reject_unknown({"input", "max-configs", "quiet"});
+    if (opt.help_requested()) {
+      std::printf(
+          "linverify: offline WGL linearizability check of a history dump\n"
+          "  --input=FILE       history file (from opfuzz --lincheck or\n"
+          "                     HistoryRecorder::dump)\n"
+          "  --max-configs=N    per-key search budget (default %zu)\n"
+          "  --quiet            verdict only, no stats\n"
+          "exit codes: 0 linearizable, 1 violation, 2 bad arguments\n",
+          copt.max_configs_per_key);
+      return kExitOk;
+    }
+    input = opt.str("input", "");
+    copt.max_configs_per_key =
+        opt.u64("max-configs", copt.max_configs_per_key);
+    quiet = opt.flag("quiet");
+    if (input.empty()) {
+      std::fprintf(stderr, "linverify: --input=FILE is required\n");
+      return kExitUsage;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "linverify: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  sv::check::History history;
+  try {
+    std::ifstream in(input);
+    if (!in) {
+      std::fprintf(stderr, "linverify: cannot open %s\n", input.c_str());
+      return kExitUsage;
+    }
+    history = sv::check::History::load(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "linverify: %s\n", e.what());
+    return kExitUsage;
+  }
+
+  const sv::check::CheckResult res = sv::check::check_history(history, copt);
+  if (!quiet) {
+    std::printf("%zu events, %zu keys, %zu configurations explored\n",
+                res.ops_checked, res.keys_checked, res.configs_explored);
+  }
+  if (res.ok()) {
+    std::printf("linearizable\n");
+    return kExitOk;
+  }
+  std::printf("%s\n%s\n",
+              res.verdict == sv::check::CheckResult::Verdict::kUndecided
+                  ? "UNDECIDED (budget exhausted)"
+                  : "NOT linearizable",
+              res.explanation.c_str());
+  return kExitCheckFailed;
+}

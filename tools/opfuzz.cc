@@ -17,26 +17,48 @@
 // structural transition points (see docs/FAULT_INJECTION.md). A failing
 // round replays exactly from its seed.
 //
+// --lincheck switches to concurrent linearizability checking: worker
+// threads run a recorded random workload against the concurrent map in
+// bounded windows; each window's merged history goes through the WGL
+// checker (src/check/wgl.h). A rejected window is dumped to disk and
+// tools/linverify re-checks the dump offline. Combine with a mutation
+// schedule (e.g. --fi-schedule='pfail@mut-drop-merge=1') to verify the
+// checker rejects seeded ordering bugs. See docs/LINEARIZABILITY.md.
+//
+// Exit codes: 0 = all checks passed, 1 = a check failed (mismatch, audit,
+// or linearizability violation), 2 = bad arguments.
+//
 // Byte grammar (2 bytes per op):  [op | config-nibble] [key]
 //   op % 8: 0,1 insert; 2 remove; 3 update; 4 lookup; 5 floor/ceiling;
 //           6 range_for_each; 7 erase_range-ish (range_transform)
+#include <barrier>
 #include <cstdio>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchutil/options.h"
+#include "check/wgl.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "core/adapters.h"
 #include "core/skip_vector.h"
 #include "debug/fault_inject.h"
 
 namespace {
 
 using Map = sv::core::SkipVectorSeq<std::uint64_t, std::uint64_t>;
+
+constexpr int kExitOk = 0;
+constexpr int kExitCheckFailed = 1;
+constexpr int kExitUsage = 2;
 
 int g_failures = 0;
 
@@ -169,10 +191,236 @@ sv::core::Config config_from_seed(std::uint64_t seed) {
   return cfg;
 }
 
+// ---- Concurrent linearizability-checking mode (--lincheck) ----------------
+
+struct LincheckParams {
+  std::uint64_t threads = 4;
+  std::uint64_t ops = 10'000;     // total per round, across threads
+  std::uint64_t window = 2'500;   // ops per bounded checking window
+  std::uint64_t keys = 128;       // key-space size
+  std::uint64_t layers = 0;       // 0 = derive from the round seed
+  std::uint64_t dvec = 0;         // data-vector target; 0 = from round seed
+  std::string dump_prefix = "lincheck-fail";
+};
+
+using LinMap =
+    sv::core::RecordingMap<sv::core::SkipVector<std::uint64_t, std::uint64_t>>;
+
+// One thread's slice of one window: a deterministic random op mix. Values
+// carry (thread, sequence) so every written value is unique -- stale reads
+// are then distinguishable from legal ones.
+void lincheck_worker(LinMap& map, const LincheckParams& p, std::uint64_t seed,
+                     std::uint64_t tid, std::uint64_t window_index,
+                     std::uint64_t ops_this_window) {
+  sv::Xoshiro256 rng(sv::Xoshiro256(seed ^ (tid << 32) ^ window_index).next());
+  std::uint64_t seq = 0;
+  for (std::uint64_t i = 0; i < ops_this_window; ++i) {
+    const std::uint64_t k = 1 + rng.next_below(p.keys);
+    const std::uint64_t v =
+        (tid << 48) | (window_index << 32) | (seq++ & 0xffffffffu);
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        map.insert(k, v);
+        break;
+      case 4:
+      case 5:
+        map.remove(k);
+        break;
+      case 6:
+        map.update(k, v);
+        break;
+      case 7: {
+        const std::uint64_t hi = k + rng.next_below(16);
+        map.range_for_each(k, hi, [](std::uint64_t, std::uint64_t) {});
+        break;
+      }
+      default:
+        map.lookup(k);
+        break;
+    }
+  }
+}
+
+// Run one recorded round: `threads` workers over ceil(ops/window) barrier-
+// separated windows, checking each window's merged history. Returns false
+// (and dumps the history) on a rejected window.
+bool lincheck_round(const LincheckParams& p, std::uint64_t round_seed,
+                    double* record_seconds) {
+  sv::core::Config cfg = config_from_seed(round_seed);
+  if (p.layers != 0) cfg.layer_count = static_cast<std::uint32_t>(p.layers);
+  if (p.dvec != 0) {
+    cfg.target_data_vector_size = static_cast<std::uint32_t>(p.dvec);
+  }
+  sv::check::HistoryRecorder recorder;
+  LinMap map(&recorder, cfg);
+
+  const std::uint64_t windows = (p.ops + p.window - 1) / p.window;
+  const std::uint64_t per_thread_window =
+      (p.window + p.threads - 1) / p.threads;
+  std::barrier sync(static_cast<std::ptrdiff_t>(p.threads + 1));
+  bool round_ok = true;
+  sv::WallTimer timer;
+  double op_seconds = 0;
+
+  // Ground a window's initial per-key state: the checker assumes nothing
+  // about the map's content at window start (windows after the first begin
+  // mid-life), so while the map is quiesced the main thread records one
+  // lookup per key. These sequential reads precede every concurrent op in
+  // real time and pin each key's starting state; workers only ever touch
+  // keys in [1, keys].
+  auto ground_window = [&map, &p] {
+    for (std::uint64_t k = 1; k <= p.keys; ++k) map.lookup(k);
+  };
+
+  ground_window();  // window 0 starts from the freshly built (empty) map
+  std::vector<std::thread> workers;
+  for (std::uint64_t t = 0; t < p.threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t w = 0; w < windows; ++w) {
+        lincheck_worker(map, p, round_seed, t, w, per_thread_window);
+        sync.arrive_and_wait();  // window quiesced; main thread checks
+        sync.arrive_and_wait();  // checking done; next window may start
+      }
+    });
+  }
+
+  for (std::uint64_t w = 0; w < windows; ++w) {
+    sync.arrive_and_wait();
+    op_seconds += timer.elapsed_seconds();
+    const sv::check::History h = recorder.merge();
+    const sv::check::CheckResult res = sv::check::check_history(h);
+    if (!res.ok()) {
+      const std::string path = p.dump_prefix + "-seed" +
+                               std::to_string(round_seed) + "-w" +
+                               std::to_string(w) + ".hist";
+      std::ofstream out(path);
+      h.dump(out);
+      std::fprintf(stderr,
+                   "LINEARIZABILITY %s in window %llu (seed %llu):\n%s\n"
+                   "history dumped to %s (%zu events) -- verify offline "
+                   "with: linverify --input=%s\n",
+                   res.verdict == sv::check::CheckResult::Verdict::kUndecided
+                       ? "UNDECIDED"
+                       : "VIOLATION",
+                   static_cast<unsigned long long>(w),
+                   static_cast<unsigned long long>(round_seed),
+                   res.explanation.c_str(), path.c_str(), h.events.size(),
+                   path.c_str());
+      round_ok = false;
+    }
+    recorder.clear();
+    if (w + 1 < windows && round_ok) ground_window();
+    timer.reset();
+    sync.arrive_and_wait();
+    if (!round_ok) {
+      // Let the remaining windows run unchecked so workers can join; one
+      // rejected window already fails the round.
+      for (std::uint64_t rest = w + 1; rest < windows; ++rest) {
+        sync.arrive_and_wait();
+        recorder.clear();
+        sync.arrive_and_wait();
+      }
+      break;
+    }
+  }
+  for (auto& th : workers) th.join();
+  if (record_seconds != nullptr) *record_seconds = op_seconds;
+  return round_ok;
+}
+
+// Recorder overhead: the same workload (no checking), recorded vs not.
+void lincheck_measure_overhead(const LincheckParams& p,
+                               std::uint64_t round_seed) {
+  auto run = [&](bool recorded) {
+    sv::core::Config cfg = config_from_seed(round_seed);
+    if (p.layers != 0) cfg.layer_count = static_cast<std::uint32_t>(p.layers);
+    if (p.dvec != 0) {
+      cfg.target_data_vector_size = static_cast<std::uint32_t>(p.dvec);
+    }
+    sv::check::HistoryRecorder recorder;
+    LinMap map(recorded ? &recorder : nullptr, cfg);
+    const std::uint64_t per_thread = (p.ops + p.threads - 1) / p.threads;
+    sv::WallTimer timer;
+    std::vector<std::thread> workers;
+    for (std::uint64_t t = 0; t < p.threads; ++t) {
+      workers.emplace_back([&, t] {
+        lincheck_worker(map, p, round_seed, t, /*window_index=*/0, per_thread);
+      });
+    }
+    for (auto& th : workers) th.join();
+    return timer.elapsed_seconds();
+  };
+  const double bare = run(false);
+  const double recorded = run(true);
+  std::printf(
+      "recorder overhead: bare %.3fs, recorded %.3fs (%+.1f%%), "
+      "%.2f Mops/s recorded\n",
+      bare, recorded, (recorded / bare - 1.0) * 100.0,
+      static_cast<double>(p.ops) / recorded / 1e6);
+}
+
+int run_lincheck(const sv::benchutil::Options& opt, std::uint64_t rounds,
+                 std::uint64_t seed0,
+                 const std::function<void(std::uint64_t)>& install_schedule) {
+  LincheckParams p;
+  p.threads = opt.u64("threads", p.threads);
+  p.ops = opt.u64("ops", p.ops);
+  p.window = opt.u64("window", p.window);
+  p.keys = opt.u64("keys", p.keys);
+  p.layers = opt.u64("layers", p.layers);
+  p.dvec = opt.u64("dvec", p.dvec);
+  p.dump_prefix = opt.str("dump-prefix", p.dump_prefix);
+  if (p.threads < 1 || p.ops < 1 || p.window < 1 || p.keys < 1) {
+    std::fprintf(stderr, "--threads/--ops/--window/--keys must be >= 1\n");
+    return kExitUsage;
+  }
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    install_schedule(seed0 + r);
+    double seconds = 0;
+    sv::WallTimer round_timer;
+    const bool ok = lincheck_round(p, seed0 + r, &seconds);
+    if (!ok) {
+      std::fprintf(stderr, "lincheck round %llu (seed %llu) FAILED\n",
+                   static_cast<unsigned long long>(r),
+                   static_cast<unsigned long long>(seed0 + r));
+      ++g_failures;
+    }
+    std::printf("lincheck round %llu: %s, %llu ops x %llu threads, "
+                "%.3fs total (%.3fs in ops)\n",
+                static_cast<unsigned long long>(r), ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(p.ops),
+                static_cast<unsigned long long>(p.threads),
+                round_timer.elapsed_seconds(), seconds);
+  }
+  if (opt.flag("measure-overhead")) {
+    sv::debug::FaultInjector::instance().clear();  // measure the clean map
+    lincheck_measure_overhead(p, seed0);
+  }
+  return g_failures == 0 ? kExitOk : kExitCheckFailed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  sv::benchutil::Options opt(argc, argv);
+  // Bad arguments -- unknown flags, malformed values, unreadable inputs,
+  // invalid schedules -- exit kExitUsage (2); check failures exit
+  // kExitCheckFailed (1). CI smoke asserts the distinction.
+  std::unique_ptr<sv::benchutil::Options> opt_holder;
+  try {
+    opt_holder = std::make_unique<sv::benchutil::Options>(argc, argv);
+    opt_holder->reject_unknown(
+        {"input", "rounds", "ops", "seed", "audit-every", "fi-pyield",
+         "fi-pfail", "fi-schedule", "lincheck", "threads", "keys", "window",
+         "layers", "dvec", "dump-prefix", "measure-overhead"});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "opfuzz: %s\n", e.what());
+    return kExitUsage;
+  }
+  const sv::benchutil::Options& opt = *opt_holder;
   if (opt.help_requested()) {
     std::printf(
         "opfuzz: byte-driven differential fuzzer (map vs std::map)\n"
@@ -185,28 +433,48 @@ int main(int argc, char** argv) {
         "  --fi-pyield=F      per-round injection schedule: yield prob\n"
         "  --fi-pfail=F       per-round injection schedule: freeze-fail prob\n"
         "  --fi-schedule=S    explicit schedule for every round (overrides"
-        " the two above)\n");
-    return 0;
+        " the two above)\n"
+        "  --lincheck         concurrent linearizability-checking mode:\n"
+        "    --threads=N --keys=N --window=N   workload shape (ops is the\n"
+        "                       per-round total across threads; default\n"
+        "                       10000 ops, 4 threads, window 2500, 128 keys)\n"
+        "    --layers=N         fix the layer count (0 = from round seed)\n"
+        "    --dvec=N           fix the data-vector target size (0 = from\n"
+        "                       round seed)\n"
+        "    --dump-prefix=P    rejected-history dump path prefix\n"
+        "    --measure-overhead also time the workload with recording on/off\n"
+        "exit codes: 0 ok, 1 check failed, 2 bad arguments\n");
+    return kExitOk;
   }
-  const std::uint64_t audit_every = opt.u64("audit-every", 512);
 
-  // Optional fault-injection sweep: every round runs under a deterministic
-  // schedule derived from the round seed, so "round N FAILED" replays with
-  // --seed=N --rounds=1 and the same --fi flags.
-  const double fi_pyield = opt.f64("fi-pyield", 0.0);
-  const double fi_pfail = opt.f64("fi-pfail", 0.0);
-  const std::string fi_spec = opt.str("fi-schedule", "");
-  const bool fi_active = !fi_spec.empty() || fi_pyield > 0 || fi_pfail > 0;
   sv::debug::Schedule fixed_schedule;
-  if (!fi_spec.empty()) {
-    try {
+  std::function<void(std::uint64_t)> install_schedule;
+  std::uint64_t audit_every, rounds, ops, seed0;
+  double fi_pyield, fi_pfail;
+  std::string fi_spec, input;
+  bool fi_active;
+  try {
+    audit_every = opt.u64("audit-every", 512);
+    // Optional fault-injection sweep: every round runs under a deterministic
+    // schedule derived from the round seed, so "round N FAILED" replays with
+    // --seed=N --rounds=1 and the same --fi flags.
+    fi_pyield = opt.f64("fi-pyield", 0.0);
+    fi_pfail = opt.f64("fi-pfail", 0.0);
+    fi_spec = opt.str("fi-schedule", "");
+    fi_active = !fi_spec.empty() || fi_pyield > 0 || fi_pfail > 0;
+    if (!fi_spec.empty()) {
       fixed_schedule = sv::debug::Schedule::parse(fi_spec);
-    } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "bad --fi-schedule: %s\n", e.what());
-      return 2;
     }
+    input = opt.str("input", "");
+    rounds = opt.u64("rounds", opt.flag("lincheck") ? 5 : 200);
+    ops = opt.u64("ops", 4096);
+    seed0 = opt.u64("seed", 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "opfuzz: %s\n", e.what());
+    return kExitUsage;
   }
-  auto install_schedule = [&](std::uint64_t round_seed) {
+  install_schedule = [&fi_active, &fi_spec, &fixed_schedule, fi_pyield,
+                      fi_pfail](std::uint64_t round_seed) {
     if (!fi_active) return;
     sv::debug::Schedule s;
     if (!fi_spec.empty()) {
@@ -219,12 +487,21 @@ int main(int argc, char** argv) {
     sv::debug::FaultInjector::instance().install(s);
   };
 
-  const std::string input = opt.str("input", "");
+  if (opt.flag("lincheck")) {
+    const int rc = run_lincheck(opt, rounds, seed0, install_schedule);
+    if (fi_active) {
+      std::printf("injection: %s\n",
+                  sv::debug::FaultInjector::instance().report().c_str());
+      sv::debug::FaultInjector::instance().clear();
+    }
+    return rc;
+  }
+
   if (!input.empty()) {
     std::ifstream f(input, std::ios::binary);
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", input.c_str());
-      return 2;
+      return kExitUsage;
     }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
@@ -232,12 +509,9 @@ int main(int argc, char** argv) {
     install_schedule(seed);
     const bool ok = run_bytes(bytes, config_from_seed(seed), audit_every);
     std::printf("%s (%zu bytes)\n", ok ? "ok" : "FAILED", bytes.size());
-    return ok ? 0 : 1;
+    return ok ? kExitOk : kExitCheckFailed;
   }
 
-  const std::uint64_t rounds = opt.u64("rounds", 200);
-  const std::uint64_t ops = opt.u64("ops", 4096);
-  const std::uint64_t seed0 = opt.u64("seed", 1);
   for (std::uint64_t r = 0; r < rounds; ++r) {
     sv::Xoshiro256 rng(seed0 + r);
     std::vector<std::uint8_t> bytes(ops * 2);
@@ -257,5 +531,5 @@ int main(int argc, char** argv) {
   std::printf("opfuzz: %llu rounds x %llu ops, %d failures\n",
               static_cast<unsigned long long>(rounds),
               static_cast<unsigned long long>(ops), g_failures);
-  return g_failures == 0 ? 0 : 1;
+  return g_failures == 0 ? kExitOk : kExitCheckFailed;
 }
