@@ -11,11 +11,14 @@
 
 #include "baselines/fraser_skiplist.h"
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "core/skip_vector_epoch.h"
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::MixSpec;
 using sv::benchutil::Options;
 using MapHP = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
@@ -47,12 +50,18 @@ int main(int argc, char** argv) {
         "ablation_merge_hp: HP overhead by key range; mergeThreshold sweep\n"
         "  --range-bits=A,B,..  ranges for the HP ablation (default 14,18,22)\n"
         "  --threads=N          worker threads (default 2)\n"
-        "  --seconds=F          seconds per cell (default 0.5)\n");
+        "  --seconds=F          seconds per cell (default 0.5)\n"
+        "  --json=PATH          also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto range_bits = opt.u64_list("range-bits", {14, 18, 22});
   const auto threads = static_cast<unsigned>(opt.u64("threads", 2));
   const double seconds = opt.f64("seconds", 0.5);
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("ablation_merge_hp");
+  report.config().set("threads", threads);
+  report.config().set("seconds", seconds);
 
   std::printf("== Ablation A: reclamation-policy overhead vs key range"
               " (80/10/10, %u threads) ==\n", threads);
@@ -71,6 +80,16 @@ int main(int argc, char** argv) {
     std::printf("  2^%-6llu %12.3f %12.3f %12.3f %9.1f%%\n",
                 static_cast<unsigned long long>(bits), hp, ebr, leak,
                 leak > 0 ? 100.0 * (leak - hp) / leak : 0.0);
+    for (const auto& [name, mops] :
+         {std::pair<const char*, double>{"SV-HP", hp},
+          {"SV-EBR", ebr},
+          {"SV-Leak", leak}}) {
+      JsonValue& row = report.add_result(name);
+      JsonValue& params = row.set("params", JsonValue::object());
+      params.set("range_bits", bits);
+      params.set("threads", threads);
+      row.set("throughput_mops", mops);
+    }
   }
 
   std::printf("\n== Ablation B: mergeThreshold sweep"
@@ -83,6 +102,13 @@ int main(int argc, char** argv) {
     const double mops = throughput<MapHP>(cfg, MixSpec{0, 50, 50}, 1ULL << 16,
                                           threads, seconds, &orphans);
     std::printf("  %-10.2f %12.3f %14zu\n", f, mops, orphans);
+    JsonValue& row = report.add_result("merge_threshold");
+    JsonValue& params = row.set("params", JsonValue::object());
+    params.set("factor", f);
+    params.set("threads", threads);
+    row.set("throughput_mops", mops);
+    row.set("metrics", JsonValue::object())
+        .set("orphans_left", static_cast<std::uint64_t>(orphans));
   }
 
   // Memory footprint: the chunked layout amortizes per-node overhead
@@ -109,6 +135,16 @@ int main(int argc, char** argv) {
     std::printf("  2^%-8d %14zu %14zu %9.2fx\n", bits, sv_bytes, fsl_bytes,
                 sv_bytes > 0 ? static_cast<double>(fsl_bytes) / sv_bytes
                              : 0.0);
+    for (const auto& [name, bytes] :
+         {std::pair<const char*, std::size_t>{"footprint_SV", sv_bytes},
+          {"footprint_FSL", fsl_bytes}}) {
+      JsonValue& row = report.add_result(name);
+      row.set("params", JsonValue::object())
+          .set("n_bits", static_cast<std::uint64_t>(bits));
+      row.set("metrics", JsonValue::object())
+          .set("bytes", static_cast<std::uint64_t>(bytes));
+    }
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -12,11 +12,14 @@
 
 #include "baselines/sequential_maps.h"
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "core/skip_vector.h"
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::MixSpec;
 using sv::benchutil::Options;
 
@@ -47,13 +50,27 @@ int main(int argc, char** argv) {
         "  --min-bits=N     smallest key range 2^N (default 4)\n"
         "  --max-bits=N     largest key range 2^N (default 16; paper ~22)\n"
         "  --seconds=F      measured seconds per cell (default 0.2)\n"
-        "  --trials=N       trials per cell, averaged (default 1)\n");
+        "  --trials=N       trials per cell, averaged (default 1)\n"
+        "  --json=PATH      also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto min_bits = opt.u64("min-bits", 4);
   const auto max_bits = opt.u64("max-bits", 16);
   const double seconds = opt.f64("seconds", 0.2);
   const auto trials = static_cast<unsigned>(opt.u64("trials", 1));
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("fig1_sequential");
+  report.config().set("min_bits", min_bits);
+  report.config().set("max_bits", max_bits);
+  report.config().set("seconds", seconds);
+  report.config().set("trials", trials);
+  const auto report_row = [&](const char* name, std::uint64_t bits,
+                              double mops) {
+    JsonValue& row = report.add_result(name);
+    row.set("params", JsonValue::object()).set("range_bits", bits);
+    row.set("throughput_mops", mops);
+  };
 
   std::printf("== Figure 1: sequential set performance vs key range ==\n");
   std::printf("   mix 80/10/10, prefill 50%%, %0.2fs x %u trials per cell\n",
@@ -88,6 +105,12 @@ int main(int argc, char** argv) {
     std::printf("  2^%-4llu %16.3f %16.3f %16.3f %16.3f %16.3f\n",
                 static_cast<unsigned long long>(bits), mops[0], mops[1],
                 mops[2], mops[3], mops[4]);
+    report_row("unsorted_vec", bits, mops[0]);
+    report_row("sorted_vec", bits, mops[1]);
+    report_row("std_map", bits, mops[2]);
+    report_row("seq_skiplist", bits, mops[3]);
+    report_row("skip_vector", bits, mops[4]);
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

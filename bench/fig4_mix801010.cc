@@ -13,7 +13,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto cfg = svbench::sweep_from_options(opt);
-  svbench::run_sweep("Figure 4: 80/10/10 lookup/insert/remove",
-                     sv::benchutil::MixSpec{80, 10, 10}, cfg);
+  const std::string json_path = opt.str("json", "");
+  const sv::benchutil::MixSpec mix{80, 10, 10};
+  svbench::BenchReport report("fig4_mix801010");
+  svbench::fill_sweep_config(report, mix, cfg);
+  svbench::run_sweep("Figure 4: 80/10/10 lookup/insert/remove", mix, cfg,
+                     json_path.empty() ? nullptr : &report);
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -13,7 +13,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto cfg = svbench::sweep_from_options(opt);
-  svbench::run_sweep("Figure 5: 0/50/50 insert/remove",
-                     sv::benchutil::MixSpec{0, 50, 50}, cfg);
+  const std::string json_path = opt.str("json", "");
+  const sv::benchutil::MixSpec mix{0, 50, 50};
+  svbench::BenchReport report("fig5_mix05050");
+  svbench::fill_sweep_config(report, mix, cfg);
+  svbench::run_sweep("Figure 5: 0/50/50 insert/remove", mix, cfg,
+                     json_path.empty() ? nullptr : &report);
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "common/timer.h"
 #include "core/skip_vector.h"
@@ -18,6 +19,8 @@
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::Options;
 using sv::dbx::Row;
 using Index = sv::core::SkipVector<std::uint64_t, Row*>;
@@ -70,7 +73,8 @@ int main(int argc, char** argv) {
         " scans (default 0)\n"
         "  --scan-len=N     rows per scan (default 100)\n"
         "  --workload=W     YCSB preset: a (50%% upd), b (5%% upd),"
-        " c (read-only), e (scans); overrides read/scan fractions\n");
+        " c (read-only), e (scans); overrides read/scan fractions\n"
+        "  --json=PATH      also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const std::uint64_t rows = opt.u64("rows", 1ULL << 18);
@@ -95,6 +99,23 @@ int main(int argc, char** argv) {
   const std::uint64_t txns = opt.u64("txns", 10000);
   const auto threads_list = opt.u64_list("threads", {1, 2, 4});
   const auto thetas = opt.u64_list("thetas", {10, 60, 90});
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("fig6_ycsb");
+  report.config().set("rows", rows);
+  report.config().set("txns_per_thread", txns);
+  report.config().set("read_fraction", read_fraction);
+  report.config().set("scan_fraction", g_scan_fraction);
+  const auto report_row = [&](const char* name, double theta, unsigned threads,
+                              double mtxn, double abort_rate) {
+    JsonValue& row = report.add_result(name);
+    JsonValue& params = row.set("params", JsonValue::object());
+    params.set("zipf_theta", theta);
+    params.set("threads", threads);
+    JsonValue& metrics = row.set("metrics", JsonValue::object());
+    metrics.set("mtxn_per_s", mtxn);
+    if (abort_rate >= 0) metrics.set("abort_rate", abort_rate);
+  };
 
   std::printf("== Figure 6: YCSB DBx1000-style throughput (Mtxn/s) ==\n");
   std::printf("   rows=%llu, txns/thread=%llu, 16 accesses/txn, 90%% reads\n",
@@ -118,7 +139,11 @@ int main(int argc, char** argv) {
       const double sl = run_cell(sl_cfg, rows, theta, threads, txns, nullptr);
       std::printf("  %-10u %12.4f %12.4f %12.4f %11.2f%%\n", threads, sv, usl,
                   sl, 100.0 * sv_stats.abort_rate());
+      report_row("SV-HP", theta, threads, sv, sv_stats.abort_rate());
+      report_row("USL-HP", theta, threads, usl, -1);
+      report_row("SL-HP", theta, threads, sl, -1);
     }
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -10,11 +10,14 @@
 #include <memory>
 
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "core/skip_vector.h"
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::MixSpec;
 using sv::benchutil::Options;
 using Map = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
@@ -39,7 +42,8 @@ int main(int argc, char** argv) {
         "  --threads=N     worker threads (default 2)\n"
         "  --seconds=F     seconds per cell (default 0.5)\n"
         "  --trials=N      trials per cell (default 1)\n"
-        "  --sizes=list    target sizes to sweep (default 1..256)\n");
+        "  --sizes=list    target sizes to sweep (default 1..256)\n"
+        "  --json=PATH     also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto bits = opt.u64("range-bits", 20);
@@ -48,6 +52,21 @@ int main(int argc, char** argv) {
   const double seconds = opt.f64("seconds", 0.5);
   const auto trials = static_cast<unsigned>(opt.u64("trials", 1));
   const auto sizes = opt.u64_list("sizes", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("fig7a_sensitivity");
+  report.config().set("range_bits", bits);
+  report.config().set("threads", threads);
+  report.config().set("seconds", seconds);
+  report.config().set("trials", trials);
+  const auto report_row = [&](const char* sweep, std::uint64_t size,
+                              unsigned layers, double mops) {
+    JsonValue& row = report.add_result(sweep);
+    JsonValue& params = row.set("params", JsonValue::object());
+    params.set("target_size", size);
+    params.set("layers", layers);
+    row.set("throughput_mops", mops);
+  };
 
   std::printf("== Figure 7a: configuration sensitivity (80/10/10, 2^%llu"
               " keys, %u threads) ==\n",
@@ -61,6 +80,7 @@ int main(int argc, char** argv) {
     const double mops = run_cell(cfg, range, threads, seconds, trials);
     std::printf("  %-8llu %8u %12.3f\n", static_cast<unsigned long long>(ti),
                 cfg.layer_count, mops);
+    report_row("sweep_T_I", ti, cfg.layer_count, mops);
   }
 
   std::printf("\n-- sweep targetDataVectorSize (T_I fixed at 32; graph"
@@ -72,6 +92,8 @@ int main(int argc, char** argv) {
     const double mops = run_cell(cfg, range, threads, seconds, trials);
     std::printf("  %-8llu %8u %12.3f\n", static_cast<unsigned long long>(td),
                 cfg.layer_count, mops);
+    report_row("sweep_T_D", td, cfg.layer_count, mops);
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -8,11 +8,14 @@
 #include <memory>
 
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "core/skip_vector.h"
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::MixSpec;
 using sv::benchutil::Options;
 using sv::vectormap::Layout;
@@ -39,7 +42,8 @@ int main(int argc, char** argv) {
         "  --range-bits=N  key range 2^N (default 20; paper 28)\n"
         "  --threads=N     worker threads (default 2)\n"
         "  --seconds=F     seconds per cell (default 0.5)\n"
-        "  --trials=N      trials per cell (default 1)\n");
+        "  --trials=N      trials per cell (default 1)\n"
+        "  --json=PATH     also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto bits = opt.u64("range-bits", 20);
@@ -48,22 +52,39 @@ int main(int argc, char** argv) {
   const double seconds = opt.f64("seconds", 0.5);
   const auto trials = static_cast<unsigned>(opt.u64("trials", 1));
   const auto cfg = sv::core::Config::for_elements(range / 2);
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("fig7b_sorted_unsorted");
+  report.config().set("range_bits", bits);
+  report.config().set("threads", threads);
+  report.config().set("seconds", seconds);
+  report.config().set("trials", trials);
+  const auto report_row = [&](const char* name, double mops) {
+    JsonValue& row = report.add_result(name);
+    row.set("params", JsonValue::object()).set("threads", threads);
+    row.set("throughput_mops", mops);
+  };
 
   std::printf("== Figure 7b: sorted/unsorted layer layouts (80/10/10, 2^%llu"
               " keys, %u threads) ==\n",
               static_cast<unsigned long long>(bits), threads);
   std::printf("  %-28s %12s\n", "index/data layout", "Mops/s");
-  std::printf("  %-28s %12.3f\n", "sorted/unsorted (paper best)",
-              run_cell<Layout::kSorted, Layout::kUnsorted>(cfg, range, threads,
-                                                           seconds, trials));
-  std::printf("  %-28s %12.3f\n", "sorted/sorted",
-              run_cell<Layout::kSorted, Layout::kSorted>(cfg, range, threads,
-                                                         seconds, trials));
-  std::printf("  %-28s %12.3f\n", "unsorted/unsorted",
-              run_cell<Layout::kUnsorted, Layout::kUnsorted>(
-                  cfg, range, threads, seconds, trials));
-  std::printf("  %-28s %12.3f\n", "unsorted/sorted",
-              run_cell<Layout::kUnsorted, Layout::kSorted>(cfg, range, threads,
-                                                           seconds, trials));
+  double mops = run_cell<Layout::kSorted, Layout::kUnsorted>(
+      cfg, range, threads, seconds, trials);
+  std::printf("  %-28s %12.3f\n", "sorted/unsorted (paper best)", mops);
+  report_row("sorted/unsorted", mops);
+  mops = run_cell<Layout::kSorted, Layout::kSorted>(cfg, range, threads,
+                                                    seconds, trials);
+  std::printf("  %-28s %12.3f\n", "sorted/sorted", mops);
+  report_row("sorted/sorted", mops);
+  mops = run_cell<Layout::kUnsorted, Layout::kUnsorted>(cfg, range, threads,
+                                                        seconds, trials);
+  std::printf("  %-28s %12.3f\n", "unsorted/unsorted", mops);
+  report_row("unsorted/unsorted", mops);
+  mops = run_cell<Layout::kUnsorted, Layout::kSorted>(cfg, range, threads,
+                                                      seconds, trials);
+  std::printf("  %-28s %12.3f\n", "unsorted/sorted", mops);
+  report_row("unsorted/sorted", mops);
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -21,6 +22,8 @@
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::Options;
 
 template <class Map>
@@ -73,7 +76,8 @@ int main(int argc, char** argv) {
         "  --seconds=F      seconds per cell (default 0.5)\n"
         "  --shards=N       also run a ShardedSkipVector column with N"
         " shards (extension; cross-shard ranges lose whole-range"
-        " atomicity)\n");
+        " atomicity)\n"
+        "  --json=PATH      also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto bits = opt.u64("range-bits", 20);
@@ -83,6 +87,21 @@ int main(int argc, char** argv) {
   const double seconds = opt.f64("seconds", 0.5);
 
   const auto shards = static_cast<std::uint32_t>(opt.u64("shards", 0));
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("fig8_range");
+  report.config().set("range_bits", bits);
+  report.config().set("seconds", seconds);
+  report.config().set("shards", shards);
+  // Range throughput is in Kops/s, not Mops/s; report it under metrics.
+  const auto report_row = [&](const char* name, std::uint64_t span_bits,
+                              unsigned threads, double kops) {
+    JsonValue& row = report.add_result(name);
+    JsonValue& params = row.set("params", JsonValue::object());
+    params.set("span_bits", span_bits);
+    params.set("threads", threads);
+    row.set("metrics", JsonValue::object()).set("range_kops", kops);
+  };
 
   using Map = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
   const auto sv_cfg = sv::core::Config::for_elements(range / 2);
@@ -119,7 +138,11 @@ int main(int argc, char** argv) {
       std::printf("  %-10u %14.2f %14.2f", threads, sv_kops, sl_kops);
       if (shards > 0) std::printf(" %14.2f", sh_kops);
       std::printf("\n");
+      report_row("SV", span_bits, threads, sv_kops);
+      report_row("SL", span_bits, threads, sl_kops);
+      if (shards > 0) report_row("Sharded", span_bits, threads, sh_kops);
     }
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

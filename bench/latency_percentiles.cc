@@ -13,6 +13,7 @@
 #include "baselines/fraser_skiplist.h"
 #include "benchutil/driver.h"
 #include "benchutil/histogram.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -20,6 +21,8 @@
 
 namespace {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::LatencyHistogram;
 using sv::benchutil::Options;
 
@@ -72,13 +75,34 @@ int main(int argc, char** argv) {
         "latency_percentiles: per-op latency tails, SV-HP vs FSL\n"
         "  --range-bits=N  key range 2^N (default 20)\n"
         "  --threads=N     worker threads (default 2)\n"
-        "  --seconds=F     measurement seconds per structure (default 1)\n");
+        "  --seconds=F     measurement seconds per structure (default 1)\n"
+        "  --json=PATH     also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
   const auto bits = opt.u64("range-bits", 20);
   const std::uint64_t range = 1ULL << bits;
   const auto threads = static_cast<unsigned>(opt.u64("threads", 2));
   const double seconds = opt.f64("seconds", 1.0);
+  const std::string json_path = opt.str("json", "");
+
+  BenchReport report("latency_percentiles");
+  report.config().set("range_bits", bits);
+  report.config().set("threads", threads);
+  report.config().set("seconds", seconds);
+  const auto report_row = [&](const char* name, const LatencyHistogram& h) {
+    JsonValue& row = report.add_result(name);
+    JsonValue& params = row.set("params", JsonValue::object());
+    params.set("range_bits", bits);
+    params.set("threads", threads);
+    JsonValue& lat = row.set("latency_ns", JsonValue::object());
+    lat.set("count", h.count());
+    lat.set("mean", h.mean());
+    lat.set("p50", h.percentile(50));
+    lat.set("p90", h.percentile(90));
+    lat.set("p99", h.percentile(99));
+    lat.set("p999", h.percentile(99.9));
+    lat.set("max", h.max());
+  };
 
   std::printf("== Per-operation latency, 80/10/10, 2^%llu keys, %u threads"
               " ==\n",
@@ -89,12 +113,15 @@ int main(int argc, char** argv) {
     sv::benchutil::prefill_half(m, range, threads);
     auto h = run(m, range, threads, seconds);
     std::printf("  SV-HP: %s\n", h.summary().c_str());
+    report_row("SV-HP", h);
   }
   {
     sv::baselines::FraserSkipList<std::uint64_t, std::uint64_t> m;
     sv::benchutil::prefill_half(m, range, threads);
     auto h = run(m, range, threads, seconds);
     std::printf("  FSL:   %s\n", h.summary().c_str());
+    report_row("FSL", h);
   }
+  if (!json_path.empty() && !report.write(json_path)) return 1;
   return 0;
 }

@@ -8,7 +8,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "benchutil/json_report.h"
 #include "common/rng.h"
 #include "core/skip_vector.h"
 #include "reclaim/hazard_pointers.h"
@@ -121,6 +125,68 @@ void BM_SkipVectorInsertRemove(benchmark::State& state) {
 }
 BENCHMARK(BM_SkipVectorInsertRemove)->Arg(10)->Arg(14)->Arg(18);
 
+// Console output stays the default google-benchmark table; this reporter
+// additionally collects every run so main() can emit sv-bench JSON rows.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    // Collect everything: the error/skipped field changed name across
+    // google-benchmark versions, and these single-threaded micro benches
+    // have no error paths worth filtering.
+    collected_.insert(collected_.end(), runs.begin(), runs.end());
+    ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Run>& collected() const { return collected_; }
+
+ private:
+  std::vector<Run> collected_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark owns the command line, so BENCHMARK_MAIN() is expanded by
+// hand here with one extension: --json=PATH is peeled off before
+// benchmark::Initialize sees (and would reject) it.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = std::string(a.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    using sv::benchutil::BenchReport;
+    using sv::benchutil::JsonValue;
+    BenchReport report("micro_primitives");
+    for (const auto& r : reporter.collected()) {
+      JsonValue& row = report.add_result(r.benchmark_name());
+      row.set("params", JsonValue::object());
+      JsonValue& metrics = row.set("metrics", JsonValue::object());
+      metrics.set("real_time_ns", r.GetAdjustedRealTime());
+      metrics.set("cpu_time_ns", r.GetAdjustedCPUTime());
+      metrics.set("iterations",
+                  static_cast<std::uint64_t>(r.iterations));
+      const auto items = r.counters.find("items_per_second");
+      if (items != r.counters.end()) {
+        metrics.set("items_per_second",
+                    static_cast<double>(items->second.value));
+      }
+    }
+    if (!report.write(json_path)) return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

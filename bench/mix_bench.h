@@ -11,11 +11,15 @@
 #include "baselines/fraser_skiplist.h"
 #include "baselines/lazy_skiplist.h"
 #include "benchutil/driver.h"
+#include "benchutil/json_report.h"
 #include "benchutil/options.h"
 #include "core/skip_vector.h"
+#include "stats/stats.h"
 
 namespace svbench {
 
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
 using sv::benchutil::MixSpec;
 using sv::benchutil::Options;
 
@@ -56,22 +60,74 @@ inline void print_sweep_help(const char* figure, const char* mix) {
       "  --no-usl-hp          skip the USL-HP variant\n"
       "  --tuned              add the paper's SV-HP-Tune configuration\n"
       "  --lazy               add a lock-based lazy skip list column\n"
-      "  --zipf=F             Zipfian key skew theta (default 0 = uniform)\n",
+      "  --zipf=F             Zipfian key skew theta (default 0 = uniform)\n"
+      "  --json=PATH          also write sv-bench JSON ('-' = stdout)\n",
       figure, mix);
 }
 
-template <class MapMaker>
-double run_cell(MapMaker make, const MixSpec& mix, std::uint64_t range,
-                unsigned threads, double seconds, unsigned trials) {
-  auto map = make();
-  sv::benchutil::prefill_half(*map, range, threads);
-  auto r = sv::benchutil::run_mix_trials(*map, mix, range, threads, seconds,
-                                         trials);
-  return r.mops();
+// Record the sweep parameters in the report's config section.
+inline void fill_sweep_config(BenchReport& report, const MixSpec& mix,
+                              const SweepConfig& cfg) {
+  JsonValue& c = report.config();
+  c.set("mix", mix.name());
+  JsonValue rb = JsonValue::array();
+  for (const auto b : cfg.range_bits) rb.push(b);
+  c.set("range_bits", std::move(rb));
+  JsonValue th = JsonValue::array();
+  for (const auto t : cfg.threads) th.push(t);
+  c.set("threads", std::move(th));
+  c.set("seconds", cfg.seconds);
+  c.set("trials", cfg.trials);
+  c.set("zipf_theta", cfg.zipf_theta);
 }
 
-inline void run_sweep(const char* title, MixSpec mix,
-                      const SweepConfig& cfg) {
+// Instrumented maps expose stats_registry(); others report empty stats.
+template <class Map>
+sv::stats::Snapshot stats_of(const Map& m) {
+  if constexpr (requires { m.stats_registry(); }) {
+    return m.stats_registry().snapshot();
+  } else {
+    return {};
+  }
+}
+
+struct CellResult {
+  double mops = 0;
+  std::vector<double> thread_mops;
+  sv::stats::Snapshot stats;  // measured phase only (prefill excluded)
+};
+
+template <class MapMaker>
+CellResult run_cell(MapMaker make, const MixSpec& mix, std::uint64_t range,
+                    unsigned threads, double seconds, unsigned trials) {
+  auto map = make();
+  sv::benchutil::prefill_half(*map, range, threads);
+  const auto base = stats_of(*map);
+  auto r = sv::benchutil::run_mix_trials(*map, mix, range, threads, seconds,
+                                         trials);
+  return {r.mops(), std::move(r.thread_mops), stats_of(*map) - base};
+}
+
+// Append one sweep cell to the report (no-op when report is null).
+inline void report_cell(BenchReport* report, const char* impl,
+                        std::uint64_t range_bits, unsigned threads,
+                        const CellResult& cell) {
+  if (report == nullptr) return;
+  JsonValue& row = report->add_result(impl);
+  JsonValue& params = row.set("params", JsonValue::object());
+  params.set("range_bits", range_bits);
+  params.set("threads", threads);
+  row.set("throughput_mops", cell.mops);
+  JsonValue per_thread = JsonValue::array();
+  for (const double m : cell.thread_mops) per_thread.push(m);
+  row.set("thread_mops", std::move(per_thread));
+  if (sv::stats::kEnabled) {
+    row.set("stats", sv::benchutil::stats_json(cell.stats));
+  }
+}
+
+inline void run_sweep(const char* title, MixSpec mix, const SweepConfig& cfg,
+                      BenchReport* report = nullptr) {
   mix.zipf_theta = cfg.zipf_theta;
   using K = std::uint64_t;
   using V = std::uint64_t;
@@ -99,17 +155,19 @@ inline void run_sweep(const char* title, MixSpec mix,
       const auto sv_cfg = core::Config::for_elements(expected);
       const auto usl_cfg = core::Config::usl_for_elements(expected);
 
-      const double sv_hp = run_cell(
+      const CellResult sv_hp = run_cell(
           [&] {
             return std::make_unique<core::SkipVector<K, V>>(sv_cfg);
           },
           mix, range, threads, cfg.seconds, cfg.trials);
-      const double sv_leak = run_cell(
+      report_cell(report, "SV-HP", bits, threads, sv_hp);
+      const CellResult sv_leak = run_cell(
           [&] {
             return std::make_unique<core::SkipVectorLeak<K, V>>(sv_cfg);
           },
           mix, range, threads, cfg.seconds, cfg.trials);
-      double tuned = 0;
+      report_cell(report, "SV-Leak", bits, threads, sv_leak);
+      CellResult tuned;
       if (cfg.include_tuned) {
         core::Config tcfg = sv_cfg;
         tcfg.target_data_vector_size = 64;
@@ -120,39 +178,44 @@ inline void run_sweep(const char* title, MixSpec mix,
               return std::make_unique<core::SkipVector<K, V>>(tcfg);
             },
             mix, range, threads, cfg.seconds, cfg.trials);
+        report_cell(report, "SV-HP-Tune", bits, threads, tuned);
       }
-      double usl_hp = 0;
+      CellResult usl_hp;
       if (cfg.include_usl_hp) {
         usl_hp = run_cell(
             [&] {
               return std::make_unique<core::SkipVector<K, V>>(usl_cfg);
             },
             mix, range, threads, cfg.seconds, cfg.trials);
+        report_cell(report, "USL-HP", bits, threads, usl_hp);
       }
-      const double usl_leak = run_cell(
+      const CellResult usl_leak = run_cell(
           [&] {
             return std::make_unique<core::SkipVectorLeak<K, V>>(usl_cfg);
           },
           mix, range, threads, cfg.seconds, cfg.trials);
-      const double fsl = run_cell(
+      report_cell(report, "USL-Leak", bits, threads, usl_leak);
+      const CellResult fsl = run_cell(
           [&] {
             return std::make_unique<sv::baselines::FraserSkipList<K, V>>();
           },
           mix, range, threads, cfg.seconds, cfg.trials);
-      double lazy = 0;
+      report_cell(report, "FSL", bits, threads, fsl);
+      CellResult lazy;
       if (cfg.include_lazy) {
         lazy = run_cell(
             [&] {
               return std::make_unique<sv::baselines::LazySkipList<K, V>>();
             },
             mix, range, threads, cfg.seconds, cfg.trials);
+        report_cell(report, "LazySL", bits, threads, lazy);
       }
 
-      std::printf("  %-10u %12.3f %12.3f", threads, sv_hp, sv_leak);
-      if (cfg.include_tuned) std::printf(" %12.3f", tuned);
-      if (cfg.include_usl_hp) std::printf(" %12.3f", usl_hp);
-      std::printf(" %12.3f %12.3f", usl_leak, fsl);
-      if (cfg.include_lazy) std::printf(" %12.3f", lazy);
+      std::printf("  %-10u %12.3f %12.3f", threads, sv_hp.mops, sv_leak.mops);
+      if (cfg.include_tuned) std::printf(" %12.3f", tuned.mops);
+      if (cfg.include_usl_hp) std::printf(" %12.3f", usl_hp.mops);
+      std::printf(" %12.3f %12.3f", usl_leak.mops, fsl.mops);
+      if (cfg.include_lazy) std::printf(" %12.3f", lazy.mops);
       std::printf("\n");
     }
   }

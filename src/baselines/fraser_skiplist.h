@@ -17,6 +17,7 @@
 #include <type_traits>
 
 #include "common/rng.h"
+#include "stats/stats.h"
 
 namespace sv::baselines {
 
@@ -58,6 +59,7 @@ class FraserSkipList {
   FraserSkipList& operator=(const FraserSkipList&) = delete;
 
   std::optional<V> lookup(K k) {
+    stats::Scope stats_scope(stats_);
     Node* pred = head_;
     Node* curr = nullptr;
     // Wait-free read path: no snipping, just skip marked nodes.
@@ -80,19 +82,25 @@ class FraserSkipList {
       }
     }
     if (eq(curr, k) && !is_marked(curr->next_word(0))) {
+      stats::count(stats::Counter::kLookupHit);
       return curr->value.load(std::memory_order_acquire);
     }
+    stats::count(stats::Counter::kLookupMiss);
     return std::nullopt;
   }
 
   bool contains(K k) { return lookup(k).has_value(); }
 
   bool insert(K k, V v) {
+    stats::Scope stats_scope(stats_);
     const int height = random_height();
     Node* preds[kMaxHeight];
     Node* succs[kMaxHeight];
     for (;;) {
-      if (find(k, preds, succs)) return false;  // already present
+      if (find(k, preds, succs)) {
+        stats::count(stats::Counter::kInsertDup);
+        return false;  // already present
+      }
       Node* node = Node::make(k, v, height, Node::kData);
       record_allocation(node);
       for (int i = 0; i < height; ++i) {
@@ -102,8 +110,10 @@ class FraserSkipList {
       std::uintptr_t expected = pack(succs[0], false);
       if (!preds[0]->next[0].compare_exchange_strong(
               expected, pack(node, false), std::memory_order_acq_rel)) {
+        stats::count(stats::Counter::kOpRestarts);
         continue;  // node stays on the allocation trail; retry fresh
       }
+      stats::count(stats::Counter::kInsertNew);
       // Build the tower bottom-up; re-find on interference.
       for (int i = 1; i < height; ++i) {
         for (;;) {
@@ -134,9 +144,13 @@ class FraserSkipList {
   }
 
   bool remove(K k) {
+    stats::Scope stats_scope(stats_);
     Node* preds[kMaxHeight];
     Node* succs[kMaxHeight];
-    if (!find(k, preds, succs)) return false;
+    if (!find(k, preds, succs)) {
+      stats::count(stats::Counter::kRemoveMiss);
+      return false;
+    }
     Node* node = succs[0];
     // Mark from the top level down to 1.
     for (int i = node->height - 1; i >= 1; --i) {
@@ -149,10 +163,14 @@ class FraserSkipList {
     // Level 0 decides the winner.
     std::uintptr_t w = node->next_word(0);
     for (;;) {
-      if (is_marked(w)) return false;  // someone else won
+      if (is_marked(w)) {
+        stats::count(stats::Counter::kRemoveMiss);
+        return false;  // someone else won
+      }
       if (node->next[0].compare_exchange_weak(w, w | 1u,
                                               std::memory_order_acq_rel)) {
         find(k, preds, succs);  // physically unlink
+        stats::count(stats::Counter::kRemoveHit);
         return true;
       }
     }
@@ -303,6 +321,10 @@ class FraserSkipList {
     return allocated_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Per-instance event counters (hit/miss mix, CAS retries); same registry
+  // machinery as the skip vector so benchmarks report both uniformly.
+  stats::Registry& stats_registry() const noexcept { return stats_; }
+
  private:
 
   const int max_height_;
@@ -311,6 +333,7 @@ class FraserSkipList {
   Node* tail_;
   std::atomic<Node*> all_nodes_head_;
   std::atomic<std::size_t> allocated_bytes_{0};
+  mutable stats::Registry stats_;
 };
 
 }  // namespace sv::baselines

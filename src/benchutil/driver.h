@@ -43,6 +43,9 @@ struct RunResult {
   std::uint64_t inserts = 0;
   std::uint64_t removes = 0;
   double seconds = 0;
+  // Per-thread throughput (Mops/s); length = worker count. From
+  // run_mix_trials this is the mean across trials, like mops().
+  std::vector<double> thread_mops;
   double mops() const { return seconds == 0 ? 0 : ops / seconds / 1e6; }
 };
 
@@ -128,6 +131,8 @@ RunResult run_mix(Map& map, const MixSpec& mix, std::uint64_t key_range,
     total.lookups += r.lookups;
     total.inserts += r.inserts;
     total.removes += r.removes;
+    total.thread_mops.push_back(
+        elapsed == 0 ? 0 : static_cast<double>(r.ops) / elapsed / 1e6);
   }
   total.seconds = elapsed;
   return total;
@@ -140,6 +145,7 @@ RunResult run_mix_trials(Map& map, const MixSpec& mix, std::uint64_t key_range,
                          unsigned threads, double seconds, unsigned trials,
                          std::uint64_t seed = 0xB12) {
   RunResult acc;
+  acc.thread_mops.assign(threads, 0.0);
   for (unsigned i = 0; i < trials; ++i) {
     RunResult r = run_mix(map, mix, key_range, threads, seconds, seed + i);
     acc.ops += r.ops;
@@ -147,6 +153,9 @@ RunResult run_mix_trials(Map& map, const MixSpec& mix, std::uint64_t key_range,
     acc.inserts += r.inserts;
     acc.removes += r.removes;
     acc.seconds += r.seconds;
+    for (unsigned t = 0; t < threads; ++t) {
+      acc.thread_mops[t] += r.thread_mops[t] / trials;
+    }
   }
   return acc;
 }

@@ -1,0 +1,194 @@
+#include "benchutil/json_report.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sv_build_info.h"
+
+namespace sv::benchutil {
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  type_ = Type::kObject;  // implicit: set() on a default value makes an object
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return obj_.back().second;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  type_ = Type::kArray;
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+void JsonValue::append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonValue::append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN
+    out += "null";
+    return;
+  }
+  // Shortest representation that round-trips: deterministic for a given
+  // value, so identical runs produce byte-identical files.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, res.ptr);
+}
+
+void JsonValue::dump_to(std::string& out, int depth) const {
+  const auto indent = [&](int d) { out.append(2 * static_cast<std::size_t>(d), ' '); };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += b_ ? "true" : "false"; break;
+    case Type::kUInt: out += std::to_string(u_); break;
+    case Type::kInt: out += std::to_string(i_); break;
+    case Type::kDouble: append_double(out, d_); break;
+    case Type::kString: append_escaped(out, s_); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      // Arrays of scalars stay on one line; arrays holding containers nest.
+      bool nested = false;
+      for (const auto& v : arr_) nested |= v.is_array() || v.is_object();
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        if (nested) {
+          out += '\n';
+          indent(depth + 1);
+        } else if (i) {
+          out += ' ';
+        }
+        arr_[i].dump_to(out, depth + 1);
+      }
+      if (nested) {
+        out += '\n';
+        indent(depth);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        indent(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, depth + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += '\n';
+      }
+      indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+JsonValue stats_json(const stats::Snapshot& snap) {
+  JsonValue obj = JsonValue::object();
+  snap.for_each([&](std::string_view name, std::uint64_t value) {
+    obj.set(std::string(name), JsonValue(value));
+  });
+  return obj;
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)), build_(default_build_info()) {}
+
+JsonValue BenchReport::default_build_info() {
+  JsonValue b = JsonValue::object();
+  b.set("compiler", compiler_string());
+  b.set("flags", SV_BUILD_CXX_FLAGS);
+  b.set("git_sha", SV_BUILD_GIT_SHA);
+  b.set("build_type", SV_BUILD_TYPE);
+  b.set("stats_enabled", stats::kEnabled);
+  return b;
+}
+
+JsonValue& BenchReport::add_result(std::string name) {
+  JsonValue row = JsonValue::object();
+  row.set("name", std::move(name));
+  row.set("params", JsonValue::object());
+  return results_.push(std::move(row));
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "sv-bench");
+  root.set("schema_version", std::uint64_t{1});
+  root.set("bench", bench_name_);
+  root.set("build", build_);
+  root.set("config", config_);
+  root.set("results", results_);
+  return root;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  const std::string text = to_json().dump();
+  if (path.empty() || path == "-") {
+    std::cout << text;
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();
+  if (!out) {
+    std::cerr << "error: failed to write " << path << "\n";
+    return false;
+  }
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace sv::benchutil

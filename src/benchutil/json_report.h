@@ -1,0 +1,141 @@
+// Versioned JSON result emission for the benchmark binaries.
+//
+// Every bench supports --json=<path>; the file it writes follows the
+// "sv-bench" schema (docs/OBSERVABILITY.md documents the version policy):
+//
+//   {
+//     "schema": "sv-bench",
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "build": { "compiler": ..., "flags": ..., "git_sha": ...,
+//                "build_type": ..., "stats_enabled": true|false },
+//     "config": { <bench-wide parameters> },
+//     "results": [
+//       { "name": "<impl/series>", "params": { <per-row parameters> },
+//         "throughput_mops": <double>,            // optional
+//         "thread_mops": [<double>, ...],          // optional, per thread
+//         "latency_ns": { "p50": ..., ... },       // optional
+//         "stats": { "<counter>": <u64>, ... },    // optional, sv::stats
+//         "metrics": { <free-form numbers> } },    // optional
+//       ...
+//     ]
+//   }
+//
+// tools/benchdiff.py validates this shape (--validate-only) and compares two
+// files row by row, matching on (name, params).
+//
+// The JsonValue type is deliberately tiny: insertion-ordered objects so the
+// emitted files are stable and diffable, shortest-round-trip double
+// formatting (std::to_chars) so output is bit-identical across runs of the
+// same build. Not a parser -- Python-side tooling handles reading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace sv::benchutil {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kUInt, kInt, kDouble, kString, kArray,
+                    kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), b_(b) {}  // NOLINT(runtime/explicit)
+  JsonValue(std::uint64_t u) : type_(Type::kUInt), u_(u) {}
+  JsonValue(std::int64_t i) : type_(Type::kInt), i_(i) {}
+  JsonValue(int i) : type_(Type::kInt), i_(i) {}
+  JsonValue(unsigned u) : type_(Type::kUInt), u_(u) {}
+  JsonValue(double d) : type_(Type::kDouble), d_(d) {}
+  JsonValue(const char* s) : type_(Type::kString), s_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), s_(std::move(s)) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+
+  // Object: set key (replacing in place if present, else appending -- key
+  // order is insertion order). Returns the stored value for chaining into
+  // nested structures.
+  JsonValue& set(std::string key, JsonValue v);
+
+  // Array: append.
+  JsonValue& push(JsonValue v);
+
+  std::size_t size() const noexcept {
+    return is_array() ? arr_.size() : obj_.size();
+  }
+
+  // Serialize with two-space indentation and a trailing newline at the top
+  // level (so files are POSIX-friendly).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+  static void append_escaped(std::string& out, std::string_view s);
+  static void append_double(std::string& out, double d);
+
+  Type type_;
+  bool b_ = false;
+  std::uint64_t u_ = 0;
+  std::int64_t i_ = 0;
+  double d_ = 0;
+  std::string s_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+// Full sv::stats snapshot as an object, one key per counter (zeros included,
+// so the key set is schema-stable).
+JsonValue stats_json(const stats::Snapshot& snap);
+
+// Compile-time compiler identification ("gcc 13.2.0 ..." / "clang ...").
+std::string compiler_string();
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  // Bench-wide parameters ({"range_bits": 20, "seconds": 5.0, ...}).
+  JsonValue& config() { return config_; }
+
+  // Append a result row; fill in params/values on the returned object.
+  // The "name" key identifies the implementation or series.
+  JsonValue& add_result(std::string name);
+
+  // Test hook: replace the build section (whose real values -- git sha,
+  // compiler -- vary by environment) with fixed values for golden tests.
+  void set_build_info(JsonValue build) { build_ = std::move(build); }
+
+  JsonValue to_json() const;
+
+  // Write to path ("" and "-" mean stdout). Returns false on I/O failure
+  // (message on stderr).
+  bool write(const std::string& path) const;
+
+ private:
+  static JsonValue default_build_info();
+
+  std::string bench_name_;
+  JsonValue build_;
+  JsonValue config_ = JsonValue::object();
+  JsonValue results_ = JsonValue::array();
+};
+
+}  // namespace sv::benchutil

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/skip_vector.h"
+#include "stats/stats.h"
 
 namespace sv::core {
 
@@ -101,6 +102,14 @@ class ShardedSkipVector {
       if (!s->validate(err)) return false;
     }
     return true;
+  }
+
+  // Aggregate event counters over every shard (each shard owns its own
+  // stats::Registry; see src/stats/stats.h).
+  stats::Snapshot stats_snapshot() const {
+    stats::Snapshot agg{};
+    for (const auto& s : shards_) agg += s->stats_registry().snapshot();
+    return agg;
   }
 
  private:

@@ -48,6 +48,7 @@
 #include "debug/audit.h"
 #include "debug/fault_inject.h"
 #include "reclaim/reclaimer.h"
+#include "stats/stats.h"
 #include "sync/backoff.h"
 #include "sync/sequence_lock.h"
 #include "vectormap/vector_map.h"
@@ -136,14 +137,20 @@ class SkipVectorMap {
   // ---- Lookup (Listing 2) --------------------------------------------------
 
   std::optional<V> lookup(K k) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       std::optional<V> result;
-      if (try_lookup(ctx, k, result)) return result;
+      if (try_lookup(ctx, k, result)) {
+        stats::count(result ? stats::Counter::kLookupHit
+                            : stats::Counter::kLookupMiss);
+        return result;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -166,6 +173,7 @@ class SkipVectorMap {
 
  private:
   bool insert_impl(K k, V v, std::uint32_t height) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
@@ -174,10 +182,13 @@ class SkipVectorMap {
       bool result = false;
       if (try_insert(ctx, k, v, height, st, result)) {
         if (result) approx_size_.fetch_add(1, std::memory_order_relaxed);
+        stats::count(result ? stats::Counter::kInsertNew
+                            : stats::Counter::kInsertDup);
         return result;
       }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -187,6 +198,7 @@ class SkipVectorMap {
 
   // Removes k; returns false (no change) if absent.
   bool remove(K k) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
@@ -194,10 +206,13 @@ class SkipVectorMap {
       bool result = false;
       if (try_remove(ctx, k, result)) {
         if (result) approx_size_.fetch_sub(1, std::memory_order_relaxed);
+        stats::count(result ? stats::Counter::kRemoveHit
+                            : stats::Counter::kRemoveMiss);
         return result;
       }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -206,14 +221,20 @@ class SkipVectorMap {
 
   // Replaces the value mapped by k; returns false if k is absent.
   bool update(K k, V v) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       bool result = false;
-      if (try_update(ctx, k, v, result)) return result;
+      if (try_update(ctx, k, v, result)) {
+        stats::count(result ? stats::Counter::kUpdateHit
+                            : stats::Counter::kUpdateMiss);
+        return result;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -229,34 +250,45 @@ class SkipVectorMap {
 
   // Largest mapping with key <= k, if any.
   Entry floor(K k) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       Entry out;
-      if (try_floor(ctx, k, out)) return out;
+      if (try_floor(ctx, k, out)) {
+        stats::count(stats::Counter::kOrderedNavOps);
+        return out;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
 
   // Smallest mapping with key >= k, if any.
   Entry ceiling(K k) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       Entry out;
-      if (try_ceiling(ctx, k, out)) return out;
+      if (try_ceiling(ctx, k, out)) {
+        stats::count(stats::Counter::kOrderedNavOps);
+        return out;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
 
   // Smallest / largest mapping in the map, if any.
   Entry first() {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
@@ -267,22 +299,31 @@ class SkipVectorMap {
       t.slot = 0;
       ctx.protect(t.slot, t.node);
       t.ver = t.node->lock.read_begin();
-      if (try_scan_forward(ctx, t, K{}, /*use_k=*/false, out)) return out;
+      if (try_scan_forward(ctx, t, K{}, /*use_k=*/false, out)) {
+        stats::count(stats::Counter::kOrderedNavOps);
+        return out;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
 
   Entry last() {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       Entry out;
-      if (try_last(ctx, out)) return out;
+      if (try_last(ctx, out)) {
+        stats::count(stats::Counter::kOrderedNavOps);
+        return out;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -584,6 +625,14 @@ class SkipVectorMap {
             capacity_splits_.load(std::memory_order_relaxed),
             tower_splits_.load(std::memory_order_relaxed)};
   }
+
+  // Per-instance event counter registry (src/stats/stats.h). Every public
+  // operation installs a stats::Scope for this registry, so counts from all
+  // layers touched on its behalf (seqlock retries, chunk shifts, reclamation)
+  // are attributed to this map. Snapshot at any time with
+  // `stats_registry().snapshot()`; compiles to a zero-size stub under
+  // SV_STATS=OFF.
+  stats::Registry& stats_registry() const noexcept { return stats_; }
 
   struct LayerStats {
     std::size_t nodes = 0;
@@ -1002,6 +1051,7 @@ class SkipVectorMap {
         }
         SV_FAULT_POINT(debug::Point::kMerge);  // both write locks held
         orphan_merges_.fetch_add(1, std::memory_order_relaxed);
+        stats::count(stats::Counter::kOrphanMerges);
 #if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
         // Mutation site (checker-teeth testing only): when fired, unlink the
         // orphan WITHOUT absorbing its elements -- every mapping it held
@@ -1103,6 +1153,7 @@ class SkipVectorMap {
     for (std::uint32_t l = st.lowest_frozen; l <= height; ++l) {
       SV_FAULT_POINT(debug::Point::kThaw);  // node still frozen here
       st.prevs[l]->lock.thaw();
+      stats::count(stats::Counter::kThaws);
     }
     st.lowest_frozen = Config::kMaxLayers + 1;
   }
@@ -1138,6 +1189,7 @@ class SkipVectorMap {
         if (layer <= height) {
           if (SV_FAULT_SHOULD_FAIL(debug::Point::kFreeze)) return false;
           if (!t.node->lock.try_freeze(t.ver)) return false;
+          stats::count(stats::Counter::kFreezes);
           t.ver = t.node->lock.load_relaxed();
           st.prevs[layer] = t.node;
           st.lowest_frozen = layer;  // checkpoint
@@ -1177,6 +1229,7 @@ class SkipVectorMap {
     }
 #endif
     if (!t.node->lock.try_freeze(t.ver)) return false;
+    stats::count(stats::Counter::kFreezes);
     st.prevs[0] = t.node;
     st.lowest_frozen = 0;
     return insert_write_phase(ctx, k, v, height, st, result);
@@ -1211,6 +1264,7 @@ class SkipVectorMap {
             as_index(prev)->vec, k, config_.index_capacity(),
             static_cast<std::uint8_t>(layer));
         SV_FAULT_POINT(debug::Point::kStealAbove);
+        stats::count(stats::Counter::kStealAbove);
         as_index(prev)->vec.steal_greater(k, in->vec);
         in->vec.insert(k, below);
         fresh = in;
@@ -1221,6 +1275,7 @@ class SkipVectorMap {
       prev->next.store(fresh, std::memory_order_release);
       prev->lock.release();
       tower_splits_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kTowerSplits);
       below = fresh;
     }
 
@@ -1292,6 +1347,7 @@ class SkipVectorMap {
       auto* sib = alloc_node<NodeType, P>(node->capacity, nullptr, node->layer,
                                           /*head=*/false, /*orphan=*/true);
       capacity_splits_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kCapacitySplits);
       const K sib_min = node->vec.split_half(sib->vec);
       const bool goes_right = k >= sib_min;
       if (goes_right) {
@@ -1543,14 +1599,20 @@ class SkipVectorMap {
   // Returns the total number of mappings visited.
   template <class Body>
   std::size_t range_locked(K lo, K hi, Body&& body) {
+    stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       std::size_t visited = 0;
-      if (try_range(ctx, lo, hi, body, visited)) return visited;
+      if (try_range(ctx, lo, hi, body, visited)) {
+        stats::count(stats::Counter::kRangeOps);
+        if (visited > 0) stats::count(stats::Counter::kRangeKeysVisited, visited);
+        return visited;
+      }
       ctx.drop_all();
       restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
       backoff.pause();
     }
   }
@@ -1599,6 +1661,7 @@ class SkipVectorMap {
   mutable std::atomic<std::uint64_t> orphan_merges_{0};
   mutable std::atomic<std::uint64_t> capacity_splits_{0};
   mutable std::atomic<std::uint64_t> tower_splits_{0};
+  mutable stats::Registry stats_;
 };
 
 // Convenience aliases matching the paper's evaluated variants.

@@ -2,6 +2,11 @@
 // deferred-reclamation alternative the paper contrasts hazard pointers
 // against. Separate header so the core stays independent of the epoch
 // machinery.
+//
+// Stats note (src/stats/stats.h): epoch retire/advance/reclaim events are
+// attributed to whichever map's stats::Scope is active when end_op() runs --
+// for this alias that is always the owning SkipVectorMap, since each
+// instance has a private EpochDomain.
 #pragma once
 
 #include "core/skip_vector.h"

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/hw.h"
+#include "stats/stats.h"
 
 namespace sv::reclaim {
 
@@ -77,6 +78,7 @@ class EpochDomain {
     }
 
     void retire(void* p, void (*deleter)(void*)) {
+      stats::count(stats::Counter::kRetired);
       const std::uint64_t e =
           domain_->global_epoch_.load(std::memory_order_acquire);
       rec_->bags[e % 3].push_back({p, deleter});
@@ -129,8 +131,10 @@ class EpochDomain {
     // afterwards the bag holding epoch (g-2) retirees -- index (g+1) % 3 for
     // the current global g -- has no remaining readers.
     std::uint64_t expected = e;
-    global_epoch_.compare_exchange_strong(expected, e + 1,
-                                          std::memory_order_acq_rel);
+    if (global_epoch_.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_acq_rel)) {
+      stats::count(stats::Counter::kEpochAdvances);
+    }
     auto& bag = rec.bags[(global_epoch_.load(std::memory_order_acquire) + 1) %
                          3];
     std::uint64_t freed = 0;
@@ -139,6 +143,7 @@ class EpochDomain {
       ++freed;
     }
     bag.clear();
+    if (freed > 0) stats::count(stats::Counter::kReclaimed, freed);
     reclaimed_.fetch_add(freed, std::memory_order_relaxed);
   }
 

@@ -130,6 +130,7 @@ HazardDomain::ThreadCtx HazardDomain::thread_ctx() {
 }
 
 void HazardDomain::scan(ThreadRec& rec) {
+  stats::count(stats::Counter::kHpScanPasses);
   // Adopt orphaned retirements from exited threads.
   {
     SpinGuard g(orphan_mu_);
@@ -169,6 +170,7 @@ void HazardDomain::scan(ThreadRec& rec) {
     }
   }
   rec.retired.swap(still_pending);
+  if (freed > 0) stats::count(stats::Counter::kReclaimed, freed);
   reclaimed_.fetch_add(freed, std::memory_order_relaxed);
   retired_estimate_.store(rec.retired.size(), std::memory_order_relaxed);
 }

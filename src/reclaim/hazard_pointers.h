@@ -20,6 +20,7 @@
 
 #include "common/hw.h"
 #include "debug/fault_inject.h"
+#include "stats/stats.h"
 
 namespace sv::reclaim {
 
@@ -77,6 +78,7 @@ class HazardDomain {
     // The paper's "HP.mark": defer deletion of p until no slot protects it.
     void retire(void* p, void (*deleter)(void*)) {
       SV_FAULT_POINT(debug::Point::kRetire);  // p unlinked, not yet scanned
+      stats::count(stats::Counter::kRetired);
       rec_->retired.push_back({p, deleter});
       if (rec_->retired.size() >= domain_->scan_threshold()) {
         domain_->scan(*rec_);

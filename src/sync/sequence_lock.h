@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "common/hw.h"
+#include "stats/stats.h"
 #include "sync/backoff.h"
 
 namespace sv::sync {
@@ -62,6 +63,8 @@ class SequenceLock {
   Word read_begin() const noexcept {
     Word w = word_.load(std::memory_order_acquire);
     while (is_locked(w)) {
+      // Off the fast path: only reached when a writer holds the lock.
+      stats::count(stats::Counter::kSeqlockReadRetries);
       cpu_relax();
       w = word_.load(std::memory_order_acquire);
     }
@@ -139,6 +142,7 @@ class SequenceLock {
           return;
         }
       }
+      stats::count(stats::Counter::kSeqlockAcquireRetries);
       backoff.pause();
     }
   }

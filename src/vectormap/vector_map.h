@@ -25,6 +25,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "stats/stats.h"
+
 namespace sv::vectormap {
 
 enum class Layout : std::uint8_t { kSorted, kUnsorted };
@@ -204,6 +206,9 @@ class VectorMap {
     if (n >= capacity_) return false;
     if constexpr (kSorted) {
       std::uint32_t pos = upper_bound(k, n);
+      if (n > pos) {
+        stats::count(stats::Counter::kChunkShiftedSlots, n - pos);
+      }
       for (std::uint32_t i = n; i > pos; --i) {
         store_key(i, load_key(i - 1));
         store_val(i, load_val(i - 1));
@@ -239,6 +244,9 @@ class VectorMap {
     const std::uint32_t n = size();
     if (n == 0) return false;
     if constexpr (kSorted) {
+      if (n > i + 1) {
+        stats::count(stats::Counter::kChunkShiftedSlots, n - i - 1);
+      }
       for (std::uint32_t j = i + 1; j < n; ++j) {
         store_key(j - 1, load_key(j));
         store_val(j - 1, load_val(j));

@@ -1,0 +1,193 @@
+// Tests for the sv-bench JSON emitter: JsonValue semantics (insertion
+// order, replacement, escaping, deterministic number formatting) and a
+// golden-file test pinning the full schema byte-for-byte. The golden file
+// is the schema contract for tools/benchdiff.py and tools/plot_results.py;
+// schema_version must be bumped when it changes (docs/OBSERVABILITY.md).
+//
+// Regenerate after an intentional schema change with:
+//   SV_REGEN_GOLDEN=1 build/tests/json_report_test
+#include "benchutil/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "stats/stats.h"
+
+#ifndef SV_TEST_GOLDEN_DIR
+#error "SV_TEST_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace {
+
+using sv::benchutil::BenchReport;
+using sv::benchutil::JsonValue;
+
+TEST(JsonValue, ScalarFormatting) {
+  EXPECT_EQ(JsonValue().dump(), "null\n");
+  EXPECT_EQ(JsonValue(true).dump(), "true\n");
+  EXPECT_EQ(JsonValue(false).dump(), "false\n");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615\n");
+  EXPECT_EQ(JsonValue(-42).dump(), "-42\n");
+  // Shortest-round-trip doubles: stable and exact across runs.
+  EXPECT_EQ(JsonValue(0.1).dump(), "0.1\n");
+  EXPECT_EQ(JsonValue(2.5).dump(), "2.5\n");
+  EXPECT_EQ(JsonValue(1e300).dump(), "1e+300\n");
+  // Non-finite values have no JSON representation; emitted as null.
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null\n");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null\n");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(JsonValue("plain").dump(), "\"plain\"\n");
+  EXPECT_EQ(JsonValue("q\" b\\ n\n r\r t\t").dump(),
+            "\"q\\\" b\\\\ n\\n r\\r t\\t\"\n");
+  EXPECT_EQ(JsonValue(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"\n");
+}
+
+TEST(JsonValue, ObjectInsertionOrderAndReplacement) {
+  JsonValue o = JsonValue::object();
+  o.set("b", 1);
+  o.set("a", 2);
+  o.set("b", 3);  // replaces in place: order stays b, a
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.dump(), "{\n  \"b\": 3,\n  \"a\": 2\n}\n");
+}
+
+TEST(JsonValue, ScalarArraysStayOnOneLine) {
+  JsonValue a = JsonValue::array();
+  a.push(1);
+  a.push(2.5);
+  a.push("x");
+  EXPECT_EQ(a.dump(), "[1, 2.5, \"x\"]\n");
+
+  JsonValue nested = JsonValue::object();
+  nested.set("v", std::move(a));
+  EXPECT_EQ(nested.dump(), "{\n  \"v\": [1, 2.5, \"x\"]\n}\n");
+}
+
+TEST(JsonValue, NestedObjectsIndent) {
+  JsonValue o = JsonValue::object();
+  o.set("outer", JsonValue::object()).set("inner", 1);
+  o.set("empty", JsonValue::object());
+  o.set("empty_arr", JsonValue::array());
+  EXPECT_EQ(o.dump(),
+            "{\n"
+            "  \"outer\": {\n"
+            "    \"inner\": 1\n"
+            "  },\n"
+            "  \"empty\": {},\n"
+            "  \"empty_arr\": []\n"
+            "}\n");
+}
+
+TEST(JsonReport, CompilerStringNonEmpty) {
+  EXPECT_FALSE(sv::benchutil::compiler_string().empty());
+}
+
+TEST(JsonReport, DefaultBuildSectionPresent) {
+  BenchReport r("probe");
+  const std::string out = r.to_json().dump();
+  EXPECT_NE(out.find("\"schema\": \"sv-bench\""), std::string::npos);
+  EXPECT_NE(out.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(out.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(out.find("\"stats_enabled\""), std::string::npos);
+}
+
+// Build a report with every payload kind the schema defines, with all
+// environment-dependent fields pinned.
+BenchReport golden_report() {
+  BenchReport r("golden_bench");
+  JsonValue build = JsonValue::object();
+  build.set("compiler", "test-cc 0.0.0");
+  build.set("flags", "-O2 -DNDEBUG");
+  build.set("git_sha", "deadbeef0123");
+  build.set("build_type", "Release");
+  build.set("stats_enabled", true);
+  r.set_build_info(std::move(build));
+
+  r.config().set("range_bits", std::uint64_t{20});
+  r.config().set("seconds", 0.5);
+  JsonValue threads = JsonValue::array();
+  threads.push(std::uint64_t{1});
+  threads.push(std::uint64_t{2});
+  r.config().set("threads", std::move(threads));
+  r.config().set("note", "escape check: \"quotes\" \\ and\ttabs");
+
+  JsonValue& row = r.add_result("SV-HP");
+  JsonValue& params = row.set("params", JsonValue::object());
+  params.set("range_bits", std::uint64_t{20});
+  params.set("threads", std::uint64_t{2});
+  row.set("throughput_mops", 12.125);
+  JsonValue tm = JsonValue::array();
+  tm.push(6.0625);
+  tm.push(6.0625);
+  row.set("thread_mops", std::move(tm));
+  JsonValue& lat = row.set("latency_ns", JsonValue::object());
+  lat.set("count", std::uint64_t{1000});
+  lat.set("mean", 250.5);
+  lat.set("p50", std::uint64_t{200});
+  lat.set("p99", std::uint64_t{900});
+
+  sv::stats::Snapshot snap;
+  snap.values[static_cast<std::size_t>(sv::stats::Counter::kLookupHit)] = 7;
+  snap.values[static_cast<std::size_t>(sv::stats::Counter::kRetired)] = 3;
+  row.set("stats", sv::benchutil::stats_json(snap));
+
+  JsonValue& row2 = r.add_result("FSL");
+  row2.set("params", JsonValue::object()).set("threads", std::uint64_t{2});
+  row2.set("metrics", JsonValue::object()).set("range_kops", 41.75);
+  return r;
+}
+
+TEST(JsonReport, GoldenSchema) {
+  const std::string golden_path =
+      std::string(SV_TEST_GOLDEN_DIR) + "/bench_report.json";
+  const std::string got = golden_report().to_json().dump();
+
+  if (std::getenv("SV_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with SV_REGEN_GOLDEN=1 to create)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(got, buf.str())
+      << "sv-bench JSON output changed; if intentional, bump schema_version "
+         "(src/benchutil/json_report.h, docs/OBSERVABILITY.md) and "
+         "regenerate with SV_REGEN_GOLDEN=1";
+}
+
+TEST(JsonReport, StatsJsonCoversEveryCounter) {
+  sv::stats::Snapshot snap;
+  JsonValue j = sv::benchutil::stats_json(snap);
+  EXPECT_EQ(j.size(), sv::stats::kCounterCount);
+}
+
+TEST(JsonReport, WriteDashMeansStdout) {
+  // "-" and "" route to stdout and must not create a file named "-".
+  BenchReport r("stdout_probe");
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(r.write("-"));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("\"sv-bench\""), std::string::npos);
+}
+
+TEST(JsonReport, WriteFailureReturnsFalse) {
+  BenchReport r("fail_probe");
+  EXPECT_FALSE(r.write("/nonexistent-dir-xyz/out.json"));
+}
+
+}  // namespace

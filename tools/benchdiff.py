@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Compare two sv-bench JSON reports and flag performance regressions.
+
+Usage:
+    tools/benchdiff.py baseline.json current.json [--threshold=0.30]
+    tools/benchdiff.py --validate-only file.json [file2.json ...]
+
+Rows are matched by (name, params). For each matched row every comparable
+metric is diffed: throughput-like metrics regress when the current value
+drops more than --threshold below baseline; latency/time-like metrics
+regress when the current value rises more than --threshold above baseline.
+
+Exit codes: 0 = ok (or only improvements), 1 = regression detected or a
+file failed schema validation, 2 = usage error.
+
+Schema: see docs/OBSERVABILITY.md and src/benchutil/json_report.h.
+"""
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "sv-bench"
+SUPPORTED_VERSIONS = {1}
+
+# Metric name -> direction. True = higher is better.
+HIGHER_BETTER = {
+    "throughput_mops",
+    "metrics.range_kops",
+    "metrics.mtxn_per_s",
+    "metrics.items_per_second",
+}
+LOWER_BETTER_PREFIXES = ("latency_ns.",)
+LOWER_BETTER = {
+    "metrics.real_time_ns",
+    "metrics.cpu_time_ns",
+}
+# Latency fields that are informational, not comparable (counts, extremes
+# dominated by a single sample).
+SKIP_FIELDS = {"latency_ns.count", "latency_ns.max"}
+
+REQUIRED_BUILD_KEYS = ("compiler", "flags", "git_sha", "build_type",
+                       "stats_enabled")
+
+
+def validate(doc, path):
+    """Return a list of human-readable schema errors (empty if valid)."""
+    errs = []
+
+    def err(msg):
+        errs.append(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        err("top level is not an object")
+        return errs
+    if doc.get("schema") != SCHEMA_NAME:
+        err(f"schema is {doc.get('schema')!r}, expected {SCHEMA_NAME!r}")
+    if doc.get("schema_version") not in SUPPORTED_VERSIONS:
+        err(f"unsupported schema_version {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        err("missing/empty 'bench' name")
+    build = doc.get("build")
+    if not isinstance(build, dict):
+        err("missing 'build' object")
+    else:
+        for k in REQUIRED_BUILD_KEYS:
+            if k not in build:
+                err(f"build missing key {k!r}")
+    if not isinstance(doc.get("config"), dict):
+        err("missing 'config' object")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        err("missing 'results' array")
+        return errs
+    for i, row in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            err(f"{where} is not an object")
+            continue
+        if not isinstance(row.get("name"), str) or not row.get("name"):
+            err(f"{where} missing/empty 'name'")
+        if not isinstance(row.get("params"), dict):
+            err(f"{where} missing 'params' object")
+        payload = [k for k in ("throughput_mops", "thread_mops",
+                               "latency_ns", "metrics", "stats")
+                   if k in row]
+        if not payload:
+            err(f"{where} ({row.get('name')}) has no measurement payload")
+        if "throughput_mops" in row and \
+                not isinstance(row["throughput_mops"], (int, float)):
+            err(f"{where} throughput_mops is not numeric")
+        for obj_key in ("latency_ns", "metrics", "stats"):
+            if obj_key in row:
+                obj = row[obj_key]
+                if not isinstance(obj, dict):
+                    err(f"{where} {obj_key} is not an object")
+                    continue
+                for k, v in obj.items():
+                    if not isinstance(v, (int, float)):
+                        err(f"{where} {obj_key}.{k} is not numeric")
+    return errs
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"benchdiff: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def row_key(row):
+    params = row.get("params") or {}
+    return (row.get("name", ""),
+            tuple(sorted((k, repr(v)) for k, v in params.items())))
+
+
+def comparable_metrics(row):
+    """Yield (metric_name, value, higher_is_better) for a result row."""
+    if isinstance(row.get("throughput_mops"), (int, float)):
+        yield "throughput_mops", float(row["throughput_mops"]), True
+    for obj_key in ("metrics", "latency_ns"):
+        obj = row.get(obj_key)
+        if not isinstance(obj, dict):
+            continue
+        for k, v in obj.items():
+            name = f"{obj_key}.{k}"
+            if name in SKIP_FIELDS or not isinstance(v, (int, float)):
+                continue
+            if name in HIGHER_BETTER:
+                yield name, float(v), True
+            elif name in LOWER_BETTER or \
+                    name.startswith(LOWER_BETTER_PREFIXES):
+                yield name, float(v), False
+            # Unknown metrics (orphans_left, bytes, abort_rate, iterations)
+            # carry no universal better-direction; they are not compared.
+
+
+def fmt_key(key):
+    name, params = key
+    if not params:
+        return name
+    return name + "{" + ", ".join(f"{k}={v}" for k, v in params) + "}"
+
+
+def compare(base_doc, cur_doc, threshold):
+    base = {row_key(r): r for r in base_doc["results"]}
+    cur = {row_key(r): r for r in cur_doc["results"]}
+    regressions = 0
+    compared = 0
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for k in only_base:
+        print(f"  warning: row only in baseline: {fmt_key(k)}")
+    for k in only_cur:
+        print(f"  warning: row only in current:  {fmt_key(k)}")
+
+    print(f"  {'row':<44} {'metric':<26} {'baseline':>12} "
+          f"{'current':>12} {'delta':>8}")
+    for key in (k for k in base if k in cur):
+        base_metrics = dict((n, (v, hb))
+                            for n, v, hb in comparable_metrics(base[key]))
+        for name, cur_val, hb in comparable_metrics(cur[key]):
+            if name not in base_metrics:
+                continue
+            base_val, _ = base_metrics[name]
+            if base_val == 0:
+                continue
+            delta = (cur_val - base_val) / base_val
+            regressed = (delta < -threshold) if hb else (delta > threshold)
+            compared += 1
+            tag = "  REGRESSION" if regressed else ""
+            print(f"  {fmt_key(key):<44} {name:<26} {base_val:>12.4g} "
+                  f"{cur_val:>12.4g} {delta:>+7.1%}{tag}")
+            if regressed:
+                regressions += 1
+    print(f"\n  {compared} metric(s) compared, {regressions} regression(s) "
+          f"beyond {threshold:.0%}")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare sv-bench JSON reports / validate their schema.")
+    ap.add_argument("files", nargs="+", metavar="FILE",
+                    help="baseline.json current.json, or files to validate")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="relative regression threshold (default 0.30)")
+    ap.add_argument("--validate-only", action="store_true",
+                    help="only check schema validity of each FILE")
+    args = ap.parse_args()
+
+    if args.threshold < 0:
+        ap.error("--threshold must be non-negative")
+
+    docs = []
+    failed = False
+    for path in args.files:
+        doc = load(path)
+        errs = validate(doc, path) if doc is not None else ["unreadable"]
+        if errs:
+            failed = True
+            for e in errs:
+                print(f"benchdiff: invalid: {e}", file=sys.stderr)
+        else:
+            docs.append(doc)
+            if args.validate_only:
+                print(f"{path}: valid {SCHEMA_NAME} v"
+                      f"{doc['schema_version']} ({doc['bench']}, "
+                      f"{len(doc['results'])} rows)")
+    if args.validate_only:
+        return 1 if failed else 0
+
+    if len(args.files) != 2:
+        ap.error("comparison mode needs exactly 2 files "
+                 "(or use --validate-only)")
+    if failed:
+        return 1
+    base_doc, cur_doc = docs
+    if base_doc["bench"] != cur_doc["bench"]:
+        print(f"benchdiff: warning: comparing different benches "
+              f"({base_doc['bench']} vs {cur_doc['bench']})")
+    print(f"== benchdiff: {base_doc['bench']} "
+          f"[{base_doc['build'].get('git_sha')}] vs "
+          f"[{cur_doc['build'].get('git_sha')}] ==")
+    return 1 if compare(base_doc, cur_doc, args.threshold) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Convert the figure benches' human-readable tables into CSV (and
-optionally gnuplot scripts) for plotting paper-style charts.
+"""Convert sv-bench JSON reports (bench/* --json=... output) into CSV and
+optionally gnuplot scripts for plotting paper-style charts.
 
 Usage:
-    for b in build/bench/fig*; do $b; done | tee bench_output.txt
-    tools/plot_results.py bench_output.txt --outdir plots/
+    build/bench/fig4_mix801010 --json=fig4.json
+    tools/plot_results.py fig4.json [fig8.json ...] --outdir plots/ --gnuplot
 
-Each detected table becomes plots/<name>.csv; with --gnuplot, a matching
-.gp script renders <name>.png (throughput vs threads, one series per
-implementation), mirroring the paper's figure layout.
+Each report becomes plots/<bench>.csv: one row per distinct params
+combination, one column per result series (SV-HP, FSL, ...) holding that
+series' primary metric. Latency reports additionally get
+plots/<bench>_latency.csv with the full percentile set per series.
+
+The primary metric is throughput_mops when present, otherwise the first
+comparable entry under metrics, otherwise latency_ns.p99.
+
+Schema: see docs/OBSERVABILITY.md and src/benchutil/json_report.h.
 """
 import argparse
+import json
 import os
 import re
 import sys
@@ -20,86 +27,147 @@ def sanitize(s: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", s.strip()).strip("_").lower()
 
 
-def parse_tables(lines):
-    """Yield (name, header_cols, rows) for every table in the output."""
-    name = None
-    sub = ""
-    header = None
+def primary_metric(row):
+    """Return (metric_name, value) for a result row, or None."""
+    if isinstance(row.get("throughput_mops"), (int, float)):
+        return "throughput_mops", row["throughput_mops"]
+    metrics = row.get("metrics")
+    if isinstance(metrics, dict):
+        for k, v in metrics.items():
+            if isinstance(v, (int, float)):
+                return k, v
+    lat = row.get("latency_ns")
+    if isinstance(lat, dict) and isinstance(lat.get("p99"), (int, float)):
+        return "latency_p99_ns", lat["p99"]
+    return None
+
+
+def pivot(results):
+    """Pivot rows: -> (param_cols, series_names, {params_tuple: {series: v}},
+    metric_name)."""
+    param_cols = []
+    series = []
+    cells = {}
+    metric_name = None
+    for row in results:
+        pm = primary_metric(row)
+        if pm is None:
+            continue
+        metric_name = metric_name or pm[0]
+        name = row.get("name", "?")
+        params = row.get("params") or {}
+        for k in params:
+            if k not in param_cols:
+                param_cols.append(k)
+        if name not in series:
+            series.append(name)
+        key = tuple(params.get(k) for k in param_cols)
+        cells.setdefault(key, {})[name] = pm[1]
+    # Re-key in case later rows introduced new param columns.
+    fixed = {}
+    for key, vals in cells.items():
+        key = key + (None,) * (len(param_cols) - len(key))
+        fixed.setdefault(key, {}).update(vals)
+    return param_cols, series, fixed, metric_name
+
+
+def write_csv(path, header, rows):
+    with open(path, "w") as f:
+        f.write(",".join(str(h) for h in header) + "\n")
+        for r in rows:
+            f.write(",".join("" if v is None else str(v) for v in r) + "\n")
+    print("wrote", path, f"({len(rows)} rows)")
+
+
+def latency_rows(results):
     rows = []
+    for row in results:
+        lat = row.get("latency_ns")
+        if not isinstance(lat, dict):
+            continue
+        params = row.get("params") or {}
+        rows.append((row.get("name", "?"), params, lat))
+    return rows
 
-    def flush():
-        nonlocal header, rows
-        if name and header and rows:
-            yield_name = sanitize(name + ("_" + sub if sub else ""))
-            out.append((yield_name, header, rows))
-        header, rows = None, []
 
-    out = []
-    for raw in lines:
-        line = raw.rstrip("\n")
-        m = re.match(r"^=+\s*(.*?)\s*=+$|^== (.*?) ==$", line)
-        if line.startswith("== "):
-            flush()
-            name = line.strip("= ").strip()
-            sub = ""
-            continue
-        if line.startswith("-- "):
-            flush()
-            sub = line.strip("- ").strip()
-            continue
-        cols = line.split()
-        if not cols or not line.startswith("  "):
-            continue
-        if header is None and not re.match(r"^[0-9]", cols[0]):
-            header = cols
-            continue
-        if header is not None:
-            # Data row: first token may be like "2^16" or a number/label.
-            rows.append(cols)
-    flush()
-    return out
+def emit_gnuplot(outdir, name, param_cols, series, metric_name):
+    csv = name + ".csv"
+    gp_path = os.path.join(outdir, name + ".gp")
+    xcol = param_cols[-1] if param_cols else "row"
+    first_series_col = len(param_cols) + 1
+    plots = ", ".join(
+        f"'{csv}' using 0:{first_series_col + i}:xtic({len(param_cols)}) "
+        f"with linespoints title '{s}'"
+        for i, s in enumerate(series))
+    with open(gp_path, "w") as f:
+        f.write("set datafile separator ','\n"
+                "set key outside\n"
+                "set grid\n"
+                f"set ylabel '{metric_name}'\n"
+                f"set xlabel '{xcol}'\n"
+                "set term pngcairo size 900,540\n"
+                f"set output '{name}.png'\n"
+                f"plot {plots}\n")
+    print("wrote", gp_path)
+
+
+def process(path, outdir, gnuplot):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sv-bench":
+        print(f"{path}: not an sv-bench report (schema="
+              f"{doc.get('schema')!r}); see --help", file=sys.stderr)
+        return False
+    bench = sanitize(doc.get("bench", os.path.basename(path)))
+    results = doc.get("results", [])
+
+    param_cols, series, cells, metric_name = pivot(results)
+    if cells:
+        header = param_cols + series
+        rows = [list(key) + [cells[key].get(s) for s in series]
+                for key in cells]
+        write_csv(os.path.join(outdir, bench + ".csv"), header, rows)
+        if gnuplot and series:
+            emit_gnuplot(outdir, bench, param_cols, series, metric_name)
+
+    lat = latency_rows(results)
+    if lat:
+        fields = ["count", "mean", "p50", "p90", "p99", "p999", "max"]
+        pcols = []
+        for _, params, _ in lat:
+            for k in params:
+                if k not in pcols:
+                    pcols.append(k)
+        header = ["name"] + pcols + fields
+        rows = [[name] + [params.get(k) for k in pcols] +
+                [h.get(f) for f in fields]
+                for name, params, h in lat]
+        write_csv(os.path.join(outdir, bench + "_latency.csv"), header, rows)
+    if not cells and not lat:
+        print(f"{path}: no plottable results", file=sys.stderr)
+        return False
+    return True
 
 
 def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("input", help="bench output file ('-' for stdin)")
+    ap = argparse.ArgumentParser(
+        description="sv-bench JSON -> CSV/gnuplot converter.")
+    ap.add_argument("inputs", nargs="+", metavar="REPORT.json",
+                    help="sv-bench JSON reports (from a bench --json=... run)")
     ap.add_argument("--outdir", default="plots")
     ap.add_argument("--gnuplot", action="store_true",
                     help="emit .gp scripts next to the CSVs")
     args = ap.parse_args()
 
-    text = (sys.stdin if args.input == "-" else open(args.input)).readlines()
     os.makedirs(args.outdir, exist_ok=True)
-
-    tables = parse_tables(text)
-    if not tables:
-        print("no tables recognized", file=sys.stderr)
-        return 1
-    for name, header, rows in tables:
-        csv_path = os.path.join(args.outdir, name + ".csv")
-        with open(csv_path, "w") as f:
-            f.write(",".join(header) + "\n")
-            for r in rows:
-                f.write(",".join(r[:len(header)]) + "\n")
-        print("wrote", csv_path, f"({len(rows)} rows)")
-        if args.gnuplot and len(header) >= 2:
-            gp_path = os.path.join(args.outdir, name + ".gp")
-            png = name + ".png"
-            series = ", ".join(
-                f"'{name}.csv' using 0:{i + 2}:xtic(1) with linespoints "
-                f"title '{header[i + 1]}'"
-                for i in range(len(header) - 1))
-            with open(gp_path, "w") as f:
-                f.write("set datafile separator ','\n"
-                        "set key outside\n"
-                        "set grid\n"
-                        f"set ylabel '{header[-1]}'\n"
-                        f"set xlabel '{header[0]}'\n"
-                        "set term pngcairo size 900,540\n"
-                        f"set output '{png}'\n"
-                        f"plot {series}\n")
-            print("wrote", gp_path)
-    return 0
+    ok = True
+    for path in args.inputs:
+        try:
+            ok &= process(path, args.outdir, args.gnuplot)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
