@@ -44,6 +44,18 @@ inline std::uint64_t tsc_now() noexcept {
 #endif
 }
 
+// Read-prefetch hint. Never faults, even on stale or concurrently-retired
+// pointers, so it is safe to issue on a speculatively-loaded next/down
+// pointer before the seqlock validation that proves the pointer was
+// current (src/core/skip_vector.h descent loops).
+inline void prefetch_read(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 inline unsigned hardware_threads() noexcept {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;

@@ -1013,6 +1013,19 @@ class SkipVectorMap {
   };
   static int other_slot(int s) noexcept { return s ^ 1; }
 
+  // Prefetch-ahead during traversal ("Skiplists with Foresight"): issue the
+  // read hint on a speculatively-loaded right/down pointer immediately,
+  // before the seqlock validation that proves the pointer was current. A
+  // prefetch never faults, so hinting a stale or already-retired node is
+  // harmless; when the pointer is good, its header plus the start of its
+  // key array ([node | keys | vals] is one contiguous allocation) is in
+  // flight by the time validation completes and the node is scanned.
+  static void prefetch_node(const NodeBase* n) noexcept {
+    const char* p = reinterpret_cast<const char*>(n);
+    prefetch_read(p);
+    prefetch_read(p + kCacheLineSize);
+  }
+
   Trav begin_traversal(Ctx& ctx) {
     Trav t;
     t.node = head_;
@@ -1031,6 +1044,7 @@ class SkipVectorMap {
       if (sz != 0 && !(k > node_max_key(t.node))) break;  // speculative stop
       NodeBase* next = t.node->next.load(std::memory_order_acquire);
       if (next == nullptr) break;  // no right sibling (the paper's top sentinel)
+      prefetch_node(next);
       const int nslot = other_slot(t.slot);
       ctx.protect(nslot, next);
       if (!t.node->lock.validate(t.ver)) return false;  // also validates HP
@@ -1088,6 +1102,7 @@ class SkipVectorMap {
 
   // ExchangeDown (Listing 2 lines 17-22): hand-over-hand move one layer down.
   bool exchange_down(Ctx& ctx, Trav& t, NodeBase* down) {
+    prefetch_node(down);
     const int nslot = other_slot(t.slot);
     ctx.protect(nslot, down);
     if (!t.node->lock.validate(t.ver)) return false;
@@ -1522,6 +1537,7 @@ class SkipVectorMap {
         ctx.drop_all();
         return true;
       }
+      prefetch_node(next);
       const int nslot = other_slot(t.slot);
       ctx.protect(nslot, next);
       if (!t.node->lock.validate(t.ver)) return false;
@@ -1549,6 +1565,7 @@ class SkipVectorMap {
     for (;;) {
       NodeBase* next = t.node->next.load(std::memory_order_acquire);
       if (next == nullptr) break;
+      prefetch_node(next);
       const int nslot = t.slot ^ 1;  // ping-pong within {0, 1}
       ctx.protect(nslot, next);
       if (!t.node->lock.validate(t.ver)) return false;

@@ -81,6 +81,8 @@ enum class Counter : std::uint32_t {
 
   // Chunk mechanics (counted inside vectormap/vector_map.h).
   kChunkShiftedSlots,  // element slots moved by sorted-layout insert/erase
+  kSimdSearches,       // chunk searches routed through vector kernels
+  kScalarFallbacks,    // chunk searches that took the scalar atomic path
 
   // Reclamation (counted inside reclaim/).
   kHpScanPasses,   // hazard-pointer scan passes
@@ -117,6 +119,8 @@ inline constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "seqlock_read_retries",
     "seqlock_acquire_retries",
     "chunk_shifted_slots",
+    "simd_searches",
+    "scalar_fallbacks",
     "hp_scan_passes",
     "retired",
     "reclaimed",

@@ -16,20 +16,73 @@
 // Two layout policies (Fig. 7b):
 //   Sorted:   keys ascending; O(log T) lookup, O(T) insert/erase (shifts).
 //   Unsorted: append/swap-with-last; O(T) lookup, O(1) insert/erase writes.
+//
+// Vectorized speculative reads (kRawScan). When K is uint32_t/uint64_t and
+// std::atomic<K> is layout-identical to K and always lock-free, the search
+// helpers reinterpret the key array as a plain `const K*` and run the
+// sv::simd kernels (src/common/simd.h) over it instead of per-element
+// atomic loads. Why this is sound under the speculation protocol:
+//
+//   * std::atomic<K> with sizeof/alignof equal to K and
+//     is_always_lock_free holds exactly one K object at the same address,
+//     so the reinterpreted loads read the same bytes the relaxed
+//     element loads would.
+//   * The scalar path already uses memory_order_relaxed loads: no
+//     ordering is lost by reading the bytes directly. The required
+//     ordering lives entirely in the sequence lock (acquire fence inside
+//     SequenceLock::validate).
+//   * A racing writer can make the raw scan observe torn *sets* of
+//     elements -- exactly what the relaxed atomic path already tolerates.
+//     Unlike atomic loads, an individual raw load racing a store is
+//     formally a data race in the C++ abstract machine; in practice (and
+//     on every ISA we target) an aligned word load returns some value,
+//     the kernels are bounded and return only kNpos or an index < n, and
+//     SequenceLock::validate rejects every racy read section before a
+//     result escapes. This is the standard seqlock idiom; it is
+//     intentionally *not* visible to ThreadSanitizer as synchronized,
+//     so kRawScan is compiled out under TSan
+//     (tests/simd_test.cc asserts this) and the relaxed atomic-load
+//     scalar path -- always compiled -- is selected instead.
+//
+// sv::stats attribution: every routed chunk search counts kSimdSearches
+// (raw-scan builds) or kScalarFallbacks (TSan / SV_FORCE_SCALAR / exotic
+// key types), so JSON reports show which path a run actually took.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <type_traits>
 #include <vector>
 
+#include "common/simd.h"
 #include "stats/stats.h"
 
 namespace sv::vectormap {
 
 enum class Layout : std::uint8_t { kSorted, kUnsorted };
+
+namespace detail {
+
+// ThreadSanitizer cannot see seqlock-protected raw reads as synchronized;
+// the raw-scan path is compiled out under TSan so its reports stay
+// meaningful (SV_SANITIZE=thread).
+inline constexpr bool kTsanActive =
+#if defined(__SANITIZE_THREAD__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+}  // namespace detail
 
 template <class K, class V, Layout kLayout>
 class VectorMap {
@@ -40,6 +93,17 @@ class VectorMap {
 
  public:
   static constexpr bool kSorted = (kLayout == Layout::kSorted);
+
+  // Whether searches scan the key array as raw memory through the sv::simd
+  // kernels (see the memory-model note at the top of this header). False
+  // under TSan, under SV_FORCE_SCALAR (simd::vectorized_v is then false),
+  // and for key types the kernels do not cover -- those builds take the
+  // relaxed atomic-load scalar path below.
+  static constexpr bool kRawScan =
+      !detail::kTsanActive && simd::vectorized_v<K> &&
+      sizeof(std::atomic<K>) == sizeof(K) &&
+      alignof(std::atomic<K>) == alignof(K) &&
+      std::atomic<K>::is_always_lock_free;
 
   VectorMap(std::atomic<K>* keys, std::atomic<V>* vals,
             std::uint32_t capacity) noexcept
@@ -73,88 +137,33 @@ class VectorMap {
   // restarts.
   FindLE find_le(K k) const noexcept {
     const std::uint32_t n = size();
-    if constexpr (kSorted) {
-      // Binary search for the last key <= k.
-      std::uint32_t lo = 0, hi = n;  // first index with key > k in [lo, hi]
-      while (lo < hi) {
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        if (load_key(mid) <= k) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      if (lo == 0) return {};
-      return {true, load_key(lo - 1), load_val(lo - 1)};
-    } else {
-      FindLE best;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const K ki = load_key(i);
-        if (ki <= k && (!best.found || ki > best.key)) {
-          best = {true, ki, load_val(i)};
-        }
-      }
-      return best;
-    }
+    const std::uint32_t i = search_le(n, k);
+    if (i >= n) return {};
+    return {true, load_key(i), load_val(i)};
   }
 
   // Smallest key >= k and its value. found == false when every key is
   // below k or the chunk is empty.
   FindLE find_ge(K k) const noexcept {
     const std::uint32_t n = size();
-    if constexpr (kSorted) {
-      std::uint32_t lo = 0, hi = n;  // first index with key >= k
-      while (lo < hi) {
-        const std::uint32_t mid = lo + (hi - lo) / 2;
-        if (load_key(mid) < k) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      if (lo == n) return {};
-      return {true, load_key(lo), load_val(lo)};
-    } else {
-      FindLE best;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const K ki = load_key(i);
-        if (ki >= k && (!best.found || ki < best.key)) {
-          best = {true, ki, load_val(i)};
-        }
-      }
-      return best;
-    }
+    const std::uint32_t i = search_ge(n, k);
+    if (i >= n) return {};
+    return {true, load_key(i), load_val(i)};
   }
 
   // Entry with the smallest / largest key (found == false when empty).
   FindLE min_entry() const noexcept {
     const std::uint32_t n = size();
-    if (n == 0) return {};
-    if constexpr (kSorted) {
-      return {true, load_key(0), load_val(0)};
-    } else {
-      FindLE best{true, load_key(0), load_val(0)};
-      for (std::uint32_t i = 1; i < n; ++i) {
-        const K ki = load_key(i);
-        if (ki < best.key) best = {true, ki, load_val(i)};
-      }
-      return best;
-    }
+    const std::uint32_t i = search_min(n);
+    if (i >= n) return {};
+    return {true, load_key(i), load_val(i)};
   }
 
   FindLE max_entry() const noexcept {
     const std::uint32_t n = size();
-    if (n == 0) return {};
-    if constexpr (kSorted) {
-      return {true, load_key(n - 1), load_val(n - 1)};
-    } else {
-      FindLE best{true, load_key(0), load_val(0)};
-      for (std::uint32_t i = 1; i < n; ++i) {
-        const K ki = load_key(i);
-        if (ki > best.key) best = {true, ki, load_val(i)};
-      }
-      return best;
-    }
+    const std::uint32_t i = search_max(n);
+    if (i >= n) return {};
+    return {true, load_key(i), load_val(i)};
   }
 
   bool contains(K k) const noexcept { return find_index(k) >= 0; }
@@ -169,32 +178,14 @@ class VectorMap {
   // callers must validate before trusting the answer.
   K min_key() const noexcept {
     const std::uint32_t n = size();
-    if constexpr (kSorted) {
-      return n ? load_key(0) : K{};
-    } else {
-      K best{};
-      bool have = false;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const K ki = load_key(i);
-        if (!have || ki < best) best = ki, have = true;
-      }
-      return best;
-    }
+    const std::uint32_t i = search_min(n);
+    return i < n ? load_key(i) : K{};
   }
 
   K max_key() const noexcept {
     const std::uint32_t n = size();
-    if constexpr (kSorted) {
-      return n ? load_key(n - 1) : K{};
-    } else {
-      K best{};
-      bool have = false;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const K ki = load_key(i);
-        if (!have || ki > best) best = ki, have = true;
-      }
-      return best;
-    }
+    const std::uint32_t i = search_max(n);
+    return i < n ? load_key(i) : K{};
   }
 
   // ---- Mutators (caller holds the node's write lock) ----------------------
@@ -205,7 +196,7 @@ class VectorMap {
     const std::uint32_t n = size();  // clamped: see size() comment
     if (n >= capacity_) return false;
     if constexpr (kSorted) {
-      std::uint32_t pos = upper_bound(k, n);
+      std::uint32_t pos = sorted_upper_bound(n, k);
       if (n > pos) {
         stats::count(stats::Counter::kChunkShiftedSlots, n - pos);
       }
@@ -271,7 +262,7 @@ class VectorMap {
   void steal_greater(K pivot, VectorMap<K, V, kOther>& dst) noexcept {
     const std::uint32_t n = size();  // clamped: see size() comment
     if constexpr (kSorted) {
-      const std::uint32_t pos = upper_bound(pivot, n);
+      const std::uint32_t pos = sorted_upper_bound(n, pivot);
       for (std::uint32_t i = pos; i < n; ++i) {
         dst.insert(load_key(i), load_val(i));
       }
@@ -385,42 +376,171 @@ class VectorMap {
     vals_[i].store(v, std::memory_order_relaxed);
   }
 
-  // First index whose key is > k, assuming sorted layout.
-  std::uint32_t upper_bound(K k, std::uint32_t n) const noexcept {
-    std::uint32_t lo = 0, hi = n;
-    while (lo < hi) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      if (load_key(mid) <= k) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
+  // The key array viewed as plain memory; only used when kRawScan proved
+  // the layouts identical (see the header comment for why this is sound
+  // under the speculation protocol).
+  const K* raw_keys() const noexcept {
+    return reinterpret_cast<const K*>(keys_);
   }
 
-  // Index of k, or -1.
-  std::int64_t find_index(K k) const noexcept {
-    const std::uint32_t n = size();
-    if constexpr (kSorted) {
+  // One routed chunk search is about to run; attribute it to the compiled
+  // path so JSON reports show what production runs actually take.
+  static void note_search() noexcept {
+    if constexpr (kRawScan) {
+      stats::count(stats::Counter::kSimdSearches);
+    } else {
+      stats::count(stats::Counter::kScalarFallbacks);
+    }
+  }
+
+  // ---- Shared search helpers ----------------------------------------------
+  // All searches below operate on the first n slots (n already clamped by
+  // size()) and return an index < n, or simd::kNpos for "no qualifying
+  // element". Every public read and mutator lookup routes through these,
+  // so the SIMD dispatch lives in exactly one place per shape.
+
+  // Sorted layout: first index with key > k / >= k.
+  std::uint32_t sorted_upper_bound(std::uint32_t n, K k) const noexcept {
+    if constexpr (kRawScan) {
+      return simd::upper_bound(raw_keys(), n, k);
+    } else {
       std::uint32_t lo = 0, hi = n;
       while (lo < hi) {
         const std::uint32_t mid = lo + (hi - lo) / 2;
-        const K km = load_key(mid);
-        if (km == k) return mid;
-        if (km < k) {
+        if (load_key(mid) <= k) {
           lo = mid + 1;
         } else {
           hi = mid;
         }
       }
-      return -1;
+      return lo;
+    }
+  }
+
+  std::uint32_t sorted_lower_bound(std::uint32_t n, K k) const noexcept {
+    if constexpr (kRawScan) {
+      return simd::lower_bound(raw_keys(), n, k);
+    } else {
+      std::uint32_t lo = 0, hi = n;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        if (load_key(mid) < k) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    }
+  }
+
+  // Largest key <= k, layout-aware.
+  std::uint32_t search_le(std::uint32_t n, K k) const noexcept {
+    note_search();
+    if constexpr (kSorted) {
+      const std::uint32_t ub = sorted_upper_bound(n, k);
+      return ub == 0 ? simd::kNpos : ub - 1;
+    } else if constexpr (kRawScan) {
+      return simd::find_le(raw_keys(), n, k);
+    } else {
+      std::uint32_t best = simd::kNpos;
+      K best_key{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki <= k && (best == simd::kNpos || ki > best_key)) {
+          best = i;
+          best_key = ki;
+        }
+      }
+      return best;
+    }
+  }
+
+  // Smallest key >= k, layout-aware.
+  std::uint32_t search_ge(std::uint32_t n, K k) const noexcept {
+    note_search();
+    if constexpr (kSorted) {
+      const std::uint32_t lb = sorted_lower_bound(n, k);
+      return lb < n ? lb : simd::kNpos;
+    } else if constexpr (kRawScan) {
+      return simd::find_ge(raw_keys(), n, k);
+    } else {
+      std::uint32_t best = simd::kNpos;
+      K best_key{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (ki >= k && (best == simd::kNpos || ki < best_key)) {
+          best = i;
+          best_key = ki;
+        }
+      }
+      return best;
+    }
+  }
+
+  // Exact match, layout-aware.
+  std::uint32_t search_eq(std::uint32_t n, K k) const noexcept {
+    note_search();
+    if constexpr (kSorted) {
+      const std::uint32_t lb = sorted_lower_bound(n, k);
+      return (lb < n && load_key(lb) == k) ? lb : simd::kNpos;
+    } else if constexpr (kRawScan) {
+      return simd::find_eq(raw_keys(), n, k);
     } else {
       for (std::uint32_t i = 0; i < n; ++i) {
         if (load_key(i) == k) return i;
       }
-      return -1;
+      return simd::kNpos;
     }
+  }
+
+  // Index of the smallest / largest key (kNpos when n == 0). kRawScan
+  // implies an unsigned integral K, so the numeric_limits probes below are
+  // well-defined there; other key types take the generic scan.
+  std::uint32_t search_min(std::uint32_t n) const noexcept {
+    if constexpr (kSorted) {
+      return n != 0 ? 0 : simd::kNpos;
+    } else if constexpr (kRawScan) {
+      if (n == 0) return simd::kNpos;
+      return simd::find_ge(raw_keys(), n, K{});
+    } else {
+      std::uint32_t best = simd::kNpos;
+      K best_key{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (best == simd::kNpos || ki < best_key) {
+          best = i;
+          best_key = ki;
+        }
+      }
+      return best;
+    }
+  }
+
+  std::uint32_t search_max(std::uint32_t n) const noexcept {
+    if constexpr (kSorted) {
+      return n != 0 ? n - 1 : simd::kNpos;
+    } else if constexpr (kRawScan) {
+      if (n == 0) return simd::kNpos;
+      return simd::find_le(raw_keys(), n, std::numeric_limits<K>::max());
+    } else {
+      std::uint32_t best = simd::kNpos;
+      K best_key{};
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const K ki = load_key(i);
+        if (best == simd::kNpos || ki > best_key) {
+          best = i;
+          best_key = ki;
+        }
+      }
+      return best;
+    }
+  }
+
+  // Index of k, or -1.
+  std::int64_t find_index(K k) const noexcept {
+    const std::uint32_t i = search_eq(size(), k);
+    return i == simd::kNpos ? -1 : static_cast<std::int64_t>(i);
   }
 
   // Key such that exactly floor(n/2) elements are <= it (writer context).
