@@ -110,7 +110,8 @@ class RecordingMap {
 };
 
 // Ordered set of keys.
-template <class K, class Reclaimer = reclaim::HazardReclaimer>
+template <class K, class Reclaimer = reclaim::HazardReclaimer,
+          class Alloc = alloc::MallocNodeAllocator>
 class SkipVectorSet {
  public:
   explicit SkipVectorSet(Config config = Config{}) : map_(config) {}
@@ -147,7 +148,9 @@ class SkipVectorSet {
   }
 
  private:
-  SkipVectorMap<K, std::uint8_t, Reclaimer> map_;
+  SkipVectorMap<K, std::uint8_t, Reclaimer, vectormap::Layout::kSorted,
+                vectormap::Layout::kUnsorted, Alloc>
+      map_;
 };
 
 // Concurrent priority queue (min-queue over keys).
@@ -157,7 +160,8 @@ class SkipVectorSet {
 // skip-list priority queues the paper cites, an element inserted
 // concurrently with a pop may or may not be observed by it; pops never
 // return elements out of thin air and never lose elements.
-template <class K, class V, class Reclaimer = reclaim::HazardReclaimer>
+template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
+          class Alloc = alloc::MallocNodeAllocator>
 class SkipVectorPriorityQueue {
  public:
   explicit SkipVectorPriorityQueue(Config config = Config{}) : map_(config) {}
@@ -189,7 +193,9 @@ class SkipVectorPriorityQueue {
   }
 
  private:
-  SkipVectorMap<K, V, Reclaimer> map_;
+  SkipVectorMap<K, V, Reclaimer, vectormap::Layout::kSorted,
+                vectormap::Layout::kUnsorted, Alloc>
+      map_;
 };
 
 }  // namespace sv::core

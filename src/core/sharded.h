@@ -19,9 +19,11 @@
 
 namespace sv::core {
 
-template <class K, class V, class Reclaimer = reclaim::HazardReclaimer>
+template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
+          class Alloc = alloc::MallocNodeAllocator>
 class ShardedSkipVector {
-  using Shard = SkipVectorMap<K, V, Reclaimer>;
+  using Shard = SkipVectorMap<K, V, Reclaimer, vectormap::Layout::kSorted,
+                              vectormap::Layout::kUnsorted, Alloc>;
 
  public:
   // key_space is the exclusive upper bound of the key domain; keys must lie
@@ -109,6 +111,14 @@ class ShardedSkipVector {
   stats::Snapshot stats_snapshot() const {
     stats::Snapshot agg{};
     for (const auto& s : shards_) agg += s->stats_registry().snapshot();
+    return agg;
+  }
+
+  // Aggregate node-allocator counters over every shard (each shard owns its
+  // own allocator instance; see alloc/allocator.h).
+  alloc::AllocatorStats allocator_stats() const {
+    alloc::AllocatorStats agg;
+    for (const auto& s : shards_) agg += s->allocator_stats();
     return agg;
   }
 

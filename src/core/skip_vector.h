@@ -16,6 +16,11 @@
 //                  ImmediateReclaimer}
 //   kIndexLayout   chunk layout of index layers (paper's best: sorted)
 //   kDataLayout    chunk layout of the data layer (paper's best: unsorted)
+//   Alloc          node allocator policy, sv::alloc::{MallocNodeAllocator,
+//                  PoolNodeAllocator} (docs/MEMORY.md). The reclaimer routes
+//                  node destruction back through this allocator (retire
+//                  carries an owned deleter; see reclaim/deleter.h), so
+//                  reclaimed chunks re-enter the pool.
 //
 // Deviations from the listings (all argued in DESIGN.md §3): head nodes use
 // an is_head flag plus an explicit head_down pointer instead of a reserved
@@ -42,6 +47,9 @@
 #include <utility>
 #include <vector>
 
+#include "alloc/allocator.h"
+#include "alloc/node_layout.h"
+#include "alloc/pool_allocator.h"
 #include "common/hw.h"
 #include "common/rng.h"
 #include "core/config.h"
@@ -57,7 +65,8 @@ namespace sv::core {
 
 template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
           vectormap::Layout kIndexLayout = vectormap::Layout::kSorted,
-          vectormap::Layout kDataLayout = vectormap::Layout::kUnsorted>
+          vectormap::Layout kDataLayout = vectormap::Layout::kUnsorted,
+          class Alloc = alloc::MallocNodeAllocator>
 class SkipVectorMap {
   static_assert(std::is_trivially_copyable_v<K> &&
                 std::is_trivially_copyable_v<V>);
@@ -133,6 +142,11 @@ class SkipVectorMap {
 
   const Config& config() const noexcept { return config_; }
   Reclaimer& reclaimer() noexcept { return reclaimer_; }
+  Alloc& allocator() noexcept { return alloc_; }
+
+  // Aggregate node-allocator counters (pool hit rate, live bytes, ...).
+  // Precise regardless of SV_STATS; see alloc/allocator.h.
+  alloc::AllocatorStats allocator_stats() const { return alloc_.stats(); }
 
   // ---- Lookup (Listing 2) --------------------------------------------------
 
@@ -876,24 +890,28 @@ class SkipVectorMap {
 
  private:
   // ---- Allocation ----------------------------------------------------------
+  //
+  // All layout arithmetic lives in alloc::NodeLayout (the single source of
+  // truth shared with the allocator layer); allocation and deallocation go
+  // through the Alloc policy. Deallocation is *sized*: the byte count is
+  // recomputed from the node header, so the pool finds the size class
+  // without any per-block metadata.
 
-  static constexpr std::size_t align_up(std::size_t x, std::size_t a) {
-    return (x + a - 1) / a * a;
+  template <class NodeType, class P>
+  static constexpr alloc::NodeLayout node_layout(std::uint32_t cap) {
+    return alloc::NodeLayout::of<NodeType, std::atomic<K>, std::atomic<P>>(
+        cap);
   }
 
   template <class NodeType, class P>
-  static NodeType* alloc_node(std::uint32_t cap, NodeBase* down,
-                              std::uint8_t layer, bool head, bool orphan) {
-    const std::size_t keys_off =
-        align_up(sizeof(NodeType), alignof(std::atomic<K>));
-    const std::size_t vals_off = align_up(
-        keys_off + cap * sizeof(std::atomic<K>), alignof(std::atomic<P>));
-    const std::size_t total = vals_off + cap * sizeof(std::atomic<P>);
-    void* mem = ::operator new(total, std::align_val_t{kCacheLineSize});
-    auto* keys =
-        reinterpret_cast<std::atomic<K>*>(static_cast<char*>(mem) + keys_off);
-    auto* vals =
-        reinterpret_cast<std::atomic<P>*>(static_cast<char*>(mem) + vals_off);
+  NodeType* alloc_node(std::uint32_t cap, NodeBase* down, std::uint8_t layer,
+                       bool head, bool orphan) {
+    const alloc::NodeLayout l = node_layout<NodeType, P>(cap);
+    void* mem = alloc_.allocate(l.bytes);
+    auto* keys = reinterpret_cast<std::atomic<K>*>(static_cast<char*>(mem) +
+                                                   l.keys_off);
+    auto* vals = reinterpret_cast<std::atomic<P>*>(static_cast<char*>(mem) +
+                                                   l.vals_off);
     for (std::uint32_t i = 0; i < cap; ++i) {
       new (keys + i) std::atomic<K>();
       new (vals + i) std::atomic<P>();
@@ -901,9 +919,15 @@ class SkipVectorMap {
     return new (mem) NodeType(keys, vals, down, cap, layer, head, orphan);
   }
 
-  static void free_node(void* p) {
+  void free_node(NodeBase* n) {
     // Node types are trivially destructible aggregates of atomics.
-    ::operator delete(p, std::align_val_t{kCacheLineSize});
+    alloc_.deallocate(n, node_bytes(n));
+  }
+
+  // Owned deleter handed to the reclaimer: routes a retired node back
+  // through the owning map's allocator (reclaim/deleter.h).
+  static void reclaim_node(void* p, void* self) {
+    static_cast<SkipVectorMap*>(self)->free_node(static_cast<NodeBase*>(p));
   }
 
   template <class T>
@@ -916,12 +940,8 @@ class SkipVectorMap {
   }
 
   static std::size_t node_bytes(const NodeBase* n) {
-    const std::size_t elem = sizeof(std::atomic<K>) +
-                             (n->layer ? sizeof(std::atomic<NodeBase*>)
-                                       : sizeof(std::atomic<V>));
-    return align_up((n->layer ? sizeof(IndexNode) : sizeof(DataNode)) +
-                        n->capacity * elem,
-                    kCacheLineSize);
+    return n->layer ? node_layout<IndexNode, NodeBase*>(n->capacity).bytes
+                    : node_layout<DataNode, V>(n->capacity).bytes;
   }
 
   // ---- Typed access helpers -------------------------------------------------
@@ -1079,7 +1099,7 @@ class SkipVectorMap {
         // locks are held, so no new reader can reach it, and an immediate
         // reclaimer frees it inside retire().
         next->lock.release();
-        ctx.retire(next, &free_node);
+        ctx.retire(next, &reclaim_node, this);
         t.ver = t.node->lock.release();
         ctx.drop(nslot);
         continue;  // re-evaluate from the (possibly grown) current node
@@ -1670,6 +1690,10 @@ class SkipVectorMap {
   // ---- Members ----------------------------------------------------------------
 
   Config config_;
+  // alloc_ is declared before reclaimer_ on purpose: the reclaimer's
+  // destructor frees pending retirements *through* the allocator, so the
+  // allocator must be destroyed after it (reverse declaration order).
+  Alloc alloc_;
   Reclaimer reclaimer_;
   std::vector<NodeBase*> heads_;  // per layer, [0] = data
   NodeBase* head_ = nullptr;      // top-layer head (the paper's `head`)
@@ -1696,5 +1720,20 @@ template <class K, class V>
 using SkipVectorSeq = SkipVectorMap<K, V, reclaim::ImmediateReclaimer,
                                     vectormap::Layout::kSorted,
                                     vectormap::Layout::kUnsorted>;
+
+// Pool-allocated variants: SV-HP / SV-Leak on a slab pool with per-thread
+// magazines (alloc/pool_allocator.h). Note SkipVectorPoolLeak does NOT leak
+// node memory at destruction: unlinked nodes are never reclaimed while the
+// map lives (the paper's Leak semantics), but every byte sits in a pool
+// arena and is released wholesale by the allocator's destructor.
+template <class K, class V>
+using SkipVectorPool =
+    SkipVectorMap<K, V, reclaim::HazardReclaimer, vectormap::Layout::kSorted,
+                  vectormap::Layout::kUnsorted, alloc::PoolNodeAllocator>;
+
+template <class K, class V>
+using SkipVectorPoolLeak =
+    SkipVectorMap<K, V, reclaim::LeakReclaimer, vectormap::Layout::kSorted,
+                  vectormap::Layout::kUnsorted, alloc::PoolNodeAllocator>;
 
 }  // namespace sv::core

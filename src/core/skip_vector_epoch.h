@@ -19,4 +19,11 @@ using SkipVectorEpoch = SkipVectorMap<K, V, reclaim::EpochReclaimer,
                                       vectormap::Layout::kSorted,
                                       vectormap::Layout::kUnsorted>;
 
+// SV-EBR on the slab pool (alloc/pool_allocator.h): the epoch domain's
+// deferred frees route back into the owning map's pool.
+template <class K, class V>
+using SkipVectorEpochPool =
+    SkipVectorMap<K, V, reclaim::EpochReclaimer, vectormap::Layout::kSorted,
+                  vectormap::Layout::kUnsorted, alloc::PoolNodeAllocator>;
+
 }  // namespace sv::core

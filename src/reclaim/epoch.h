@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/hw.h"
+#include "reclaim/deleter.h"
 #include "stats/stats.h"
 
 namespace sv::reclaim {
@@ -31,7 +32,7 @@ class EpochDomain {
     // Quiescent: free every bag, including those of exited threads.
     for (auto& rec : recs_) {
       for (auto& bag : rec->bags) {
-        for (auto& r : bag) r.deleter(r.ptr);
+        for (auto& r : bag) r.deleter(r.ptr, r.owner);
       }
     }
   }
@@ -41,7 +42,8 @@ class EpochDomain {
 
   struct Retired {
     void* ptr;
-    void (*deleter)(void*);
+    OwnedDeleter deleter;  // invoked as deleter(ptr, owner)
+    void* owner;
   };
 
   struct ThreadRec {
@@ -77,11 +79,16 @@ class EpochDomain {
       }
     }
 
-    void retire(void* p, void (*deleter)(void*)) {
+    void retire(void* p, OwnedDeleter deleter, void* owner) {
       stats::count(stats::Counter::kRetired);
       const std::uint64_t e =
           domain_->global_epoch_.load(std::memory_order_acquire);
-      rec_->bags[e % 3].push_back({p, deleter});
+      rec_->bags[e % 3].push_back({p, deleter, owner});
+    }
+
+    // Legacy ownerless form (tests, simple users).
+    void retire(void* p, void (*deleter)(void*)) {
+      retire(p, &invoke_unowned, reinterpret_cast<void*>(deleter));
     }
 
    private:
@@ -139,7 +146,7 @@ class EpochDomain {
                          3];
     std::uint64_t freed = 0;
     for (auto& r : bag) {
-      r.deleter(r.ptr);
+      r.deleter(r.ptr, r.owner);
       ++freed;
     }
     bag.clear();

@@ -78,12 +78,12 @@ HazardDomain::~HazardDomain() {
   // No operations may be in flight now. Free everything still pending.
   ThreadRec* rec = head_.load(std::memory_order_acquire);
   while (rec != nullptr) {
-    for (auto& r : rec->retired) r.deleter(r.ptr);
+    for (auto& r : rec->retired) r.deleter(r.ptr, r.owner);
     ThreadRec* next = rec->next;
     delete rec;
     rec = next;
   }
-  for (auto& r : orphans_) r.deleter(r.ptr);
+  for (auto& r : orphans_) r.deleter(r.ptr, r.owner);
 }
 
 HazardDomain::ThreadRec* HazardDomain::acquire_rec() {
@@ -165,7 +165,7 @@ void HazardDomain::scan(ThreadRec& rec) {
                            static_cast<const void*>(r.ptr))) {
       still_pending.push_back(r);
     } else {
-      r.deleter(r.ptr);
+      r.deleter(r.ptr, r.owner);
       ++freed;
     }
   }

@@ -20,6 +20,7 @@
 
 #include "common/hw.h"
 #include "debug/fault_inject.h"
+#include "reclaim/deleter.h"
 #include "stats/stats.h"
 
 namespace sv::reclaim {
@@ -44,7 +45,8 @@ class HazardDomain {
     // Owner-thread-only state:
     struct Retired {
       void* ptr;
-      void (*deleter)(void*);
+      OwnedDeleter deleter;  // invoked as deleter(ptr, owner)
+      void* owner;
     };
     std::vector<Retired> retired;
     alignas(kCacheLineSize) char pad_[kCacheLineSize];
@@ -76,13 +78,20 @@ class HazardDomain {
     }
 
     // The paper's "HP.mark": defer deletion of p until no slot protects it.
-    void retire(void* p, void (*deleter)(void*)) {
+    // `owner` is the retiring component (routes destruction back through
+    // its allocator); it must outlive the domain.
+    void retire(void* p, OwnedDeleter deleter, void* owner) {
       SV_FAULT_POINT(debug::Point::kRetire);  // p unlinked, not yet scanned
       stats::count(stats::Counter::kRetired);
-      rec_->retired.push_back({p, deleter});
+      rec_->retired.push_back({p, deleter, owner});
       if (rec_->retired.size() >= domain_->scan_threshold()) {
         domain_->scan(*rec_);
       }
+    }
+
+    // Legacy ownerless form (tests, simple users).
+    void retire(void* p, void (*deleter)(void*)) {
+      retire(p, &invoke_unowned, reinterpret_cast<void*>(deleter));
     }
 
     std::size_t pending_retired() const noexcept {

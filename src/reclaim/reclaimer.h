@@ -11,14 +11,20 @@
 //       void protect(int slot, const void* p);   // HP.take
 //       void drop(int slot);                     // HP.drop
 //       void drop_all();                         // HP.dropAll
-//       void retire(void* p, void(*del)(void*)); // HP.mark
+//       void retire(void* p, OwnedDeleter del, void* owner);  // HP.mark
+//       void retire(void* p, void(*del)(void*)); // legacy ownerless form
 //     };
 //     ThreadCtx thread_ctx();
 //   };
 //
+// retire's owned form invokes del(p, owner) when p is safe to destroy; the
+// owner (typically the map) routes the bytes back to its node allocator
+// (see reclaim/deleter.h and alloc/allocator.h).
+//
 // A fourth policy, EpochReclaimer, lives in reclaim/epoch.h.
 #pragma once
 
+#include "reclaim/deleter.h"
 #include "reclaim/hazard_pointers.h"
 
 namespace sv::reclaim {
@@ -47,6 +53,7 @@ class LeakReclaimer {
     void protect(int, const void*) noexcept {}
     void drop(int) noexcept {}
     void drop_all() noexcept {}
+    void retire(void*, OwnedDeleter, void*) noexcept {}
     void retire(void*, void (*)(void*)) noexcept {}
   };
   ThreadCtx thread_ctx() noexcept { return {}; }
@@ -63,6 +70,7 @@ class ImmediateReclaimer {
     void protect(int, const void*) noexcept {}
     void drop(int) noexcept {}
     void drop_all() noexcept {}
+    void retire(void* p, OwnedDeleter del, void* owner) { del(p, owner); }
     void retire(void* p, void (*del)(void*)) { del(p); }
   };
   ThreadCtx thread_ctx() noexcept { return {}; }

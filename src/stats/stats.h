@@ -90,6 +90,12 @@ enum class Counter : std::uint32_t {
   kReclaimed,      // nodes actually freed
   kEpochAdvances,  // successful global epoch advances (EBR)
 
+  // Allocation (counted inside alloc/).
+  kPoolHits,    // node allocations served by a per-thread magazine
+  kPoolMisses,  // node allocations that went to the depot/slab/heap
+  kSlabAllocs,  // slabs carved from pool arenas
+  kLiveBytes,   // net gauge: +bytes on alloc, two's-complement on free
+
   kCount
 };
 
@@ -125,6 +131,10 @@ inline constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "retired",
     "reclaimed",
     "epoch_advances",
+    "pool_hits",
+    "pool_misses",
+    "slab_allocs",
+    "live_bytes",
 };
 
 inline constexpr std::string_view counter_name(Counter c) noexcept {
