@@ -63,6 +63,72 @@ double run_range_workload(Map& map, std::uint64_t key_range,
   return static_cast<double>(total) / secs / 1e3;  // Kops/s
 }
 
+// Scan-vs-writer cell: `scanners` threads repeatedly scan a random span
+// while `writers` threads churn the key space with the 0/50/50 point mix
+// (no lookups, half inserts, half removes) — the workload where a
+// retrying or lock-taking scan degrades. kLocked scans through the 2PL
+// range path; kSnapshot pins a version per scan and walks it wait-free
+// (docs/SNAPSHOTS.md). Returns completed scans in Kops/s.
+enum class ScanKind { kLocked, kSnapshot };
+
+template <class Map>
+double run_scan_under_writers(Map& map, std::uint64_t key_range,
+                              std::uint64_t span, unsigned scanners,
+                              unsigned writers, double seconds,
+                              ScanKind kind) {
+  std::atomic<bool> start{false}, stop{false};
+  std::atomic<std::uint64_t> sink{0};
+  std::vector<std::uint64_t> ops(scanners, 0);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < scanners; ++t) {
+    workers.emplace_back([&, t] {
+      sv::Xoshiro256 rng(171 + t);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      std::uint64_t local = 0, acc = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t lo = rng.next_below(key_range - span);
+        const auto fn = [&acc](std::uint64_t, std::uint64_t v) { acc += v; };
+        if (kind == ScanKind::kSnapshot) {
+          const auto view = map.snapshot_at();
+          map.range_for_each_at(view, lo, lo + span - 1, fn);
+        } else {
+          map.range_for_each(lo, lo + span - 1, fn);
+        }
+        ++local;
+      }
+      ops[t] = local;
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+  for (unsigned t = 0; t < writers; ++t) {
+    workers.emplace_back([&, t] {
+      sv::Xoshiro256 rng(977 + t);
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_below(key_range);
+        if (rng.next_below(2) == 0) {
+          map.insert(k, k);
+        } else {
+          map.remove(k);
+        }
+      }
+    });
+  }
+  sv::WallTimer timer;
+  start.store(true, std::memory_order_release);
+  while (timer.elapsed_seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  const double secs = timer.elapsed_seconds();
+  for (auto& w : workers) w.join();
+  std::uint64_t total = 0;
+  for (auto o : ops) total += o;
+  return static_cast<double>(total) / secs / 1e3;  // Kops/s
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +143,11 @@ int main(int argc, char** argv) {
         "  --shards=N       also run a ShardedSkipVector column with N"
         " shards (extension; cross-shard ranges lose whole-range"
         " atomicity)\n"
+        "  --writers=N      scan-under-write-mix section: N writer threads"
+        " run the 0/50/50 point mix (as fig5) against each scanner count,"
+        " comparing locked scans (SV-Lock) with wait-free versioned"
+        " snapshot scans (SV-Snap); default = each cell's thread count,"
+        " 0 disables the section\n"
         "  --json=PATH      also write sv-bench JSON ('-' = stdout)\n");
     return 0;
   }
@@ -87,6 +158,8 @@ int main(int argc, char** argv) {
   const double seconds = opt.f64("seconds", 0.5);
 
   const auto shards = static_cast<std::uint32_t>(opt.u64("shards", 0));
+  // Sentinel ~0: default the writer count to each cell's scanner count.
+  const auto writers_opt = opt.u64("writers", ~0ULL);
   const std::string json_path = opt.str("json", "");
 
   BenchReport report("fig8_range");
@@ -141,6 +214,56 @@ int main(int argc, char** argv) {
       report_row("SV", span_bits, threads, sv_kops);
       report_row("SL", span_bits, threads, sl_kops);
       if (shards > 0) report_row("Sharded", span_bits, threads, sh_kops);
+    }
+  }
+  // Scan-under-write-mix section: how does read-side range throughput
+  // hold up when writers churn the map? The locked 2PL scan (SV-Lock)
+  // serializes against the write storm; the versioned snapshot scan
+  // (SV-Snap, docs/SNAPSHOTS.md) never takes chunk locks and never
+  // restarts, so its curve must not collapse — that is the property the
+  // CI soft gate pins (ci/baselines/BENCH_fig8.json).
+  if (writers_opt != 0) {
+    const auto report_mix_row = [&](const char* name, std::uint64_t span_bits,
+                                    unsigned threads, unsigned writers,
+                                    double kops) {
+      JsonValue& row = report.add_result(name);
+      JsonValue& params = row.set("params", JsonValue::object());
+      params.set("span_bits", span_bits);
+      params.set("threads", threads);
+      params.set("writers", writers);
+      row.set("metrics", JsonValue::object()).set("range_kops", kops);
+    };
+    std::printf(
+        "\n== Scans under the 0/50/50 write mix (insert/remove churn) ==\n");
+    for (const auto span_bits : spans) {
+      const std::uint64_t span = 1ULL << span_bits;
+      std::printf("\n-- query span 2^%llu --\n",
+                  static_cast<unsigned long long>(span_bits));
+      std::printf("  %-10s %-10s %14s %14s\n", "scanners", "writers",
+                  "SV-Lock", "SV-Snap");
+      for (const auto t64 : threads_list) {
+        const auto threads = static_cast<unsigned>(t64);
+        const auto writers = writers_opt == ~0ULL
+                                 ? threads
+                                 : static_cast<unsigned>(writers_opt);
+        double lock_kops, snap_kops;
+        {
+          Map m(sv_cfg);
+          sv::benchutil::prefill_half(m, range, threads);
+          lock_kops = run_scan_under_writers(m, range, span, threads, writers,
+                                             seconds, ScanKind::kLocked);
+        }
+        {
+          Map m(sv_cfg);
+          sv::benchutil::prefill_half(m, range, threads);
+          snap_kops = run_scan_under_writers(m, range, span, threads, writers,
+                                             seconds, ScanKind::kSnapshot);
+        }
+        std::printf("  %-10u %-10u %14.2f %14.2f\n", threads, writers,
+                    lock_kops, snap_kops);
+        report_mix_row("SV-Lock", span_bits, threads, writers, lock_kops);
+        report_mix_row("SV-Snap", span_bits, threads, writers, snap_kops);
+      }
     }
   }
   if (!json_path.empty() && !report.write(json_path)) return 1;

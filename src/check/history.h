@@ -41,6 +41,14 @@ enum class OpKind : std::uint8_t {
   kRemove,
   kUpdate,
   kRangeObserve,
+  // Batch ops (apply_batch): each key of a committed batch is decomposed
+  // into one event sharing the batch's invoke/response interval. kBatchPut
+  // upserts (ok = the key was newly inserted); kBatchRemove erases (ok =
+  // the key was present). Snapshot scans (range_for_each_at / snapshot())
+  // decompose like ranges, one kSnapObserve per mapping returned.
+  kBatchPut,
+  kBatchRemove,
+  kSnapObserve,
 };
 
 inline const char* op_kind_name(OpKind k) noexcept {
@@ -50,12 +58,15 @@ inline const char* op_kind_name(OpKind k) noexcept {
     case OpKind::kRemove: return "remove";
     case OpKind::kUpdate: return "update";
     case OpKind::kRangeObserve: return "range";
+    case OpKind::kBatchPut: return "batch-put";
+    case OpKind::kBatchRemove: return "batch-remove";
+    case OpKind::kSnapObserve: return "snap";
   }
   return "?";
 }
 
 inline OpKind op_kind_from_name(const std::string& s) {
-  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(OpKind::kRangeObserve);
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(OpKind::kSnapObserve);
        ++i) {
     if (s == op_kind_name(static_cast<OpKind>(i))) {
       return static_cast<OpKind>(i);

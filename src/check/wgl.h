@@ -87,6 +87,7 @@ inline bool apply(const Event& e, KeyState& st) noexcept {
   switch (e.kind) {
     case OpKind::kLookup:
     case OpKind::kRangeObserve:
+    case OpKind::kSnapObserve:
       if (e.ok) {
         if (!may_be_present) return false;
         if (st.p == P::kPresentKnown) return st.value == e.value;
@@ -126,6 +127,17 @@ inline bool apply(const Event& e, KeyState& st) noexcept {
       if (!may_be_absent) return false;
       st.p = P::kAbsent;
       return true;
+    case OpKind::kBatchPut:
+      // Upsert: afterwards the key is present with the batch's value either
+      // way; ok records whether the key was newly inserted.
+      if (e.ok ? !may_be_absent : !may_be_present) return false;
+      st.p = P::kPresentKnown;
+      st.value = e.value;
+      return true;
+    case OpKind::kBatchRemove:
+      if (e.ok ? !may_be_present : !may_be_absent) return false;
+      st.p = P::kAbsent;
+      return true;
   }
   return false;
 }
@@ -158,11 +170,13 @@ struct ConfigHash {
 inline std::string describe(const Event& e) {
   std::string s = op_kind_name(e.kind);
   s += "(k=" + std::to_string(e.key);
-  if (e.kind == OpKind::kInsert || e.kind == OpKind::kUpdate) {
+  if (e.kind == OpKind::kInsert || e.kind == OpKind::kUpdate ||
+      e.kind == OpKind::kBatchPut) {
     s += ", v=" + std::to_string(e.value);
   }
   s += ") -> ";
-  if (e.kind == OpKind::kLookup || e.kind == OpKind::kRangeObserve) {
+  if (e.kind == OpKind::kLookup || e.kind == OpKind::kRangeObserve ||
+      e.kind == OpKind::kSnapObserve) {
     s += e.ok ? ("found v=" + std::to_string(e.value)) : "absent";
   } else {
     s += e.ok ? "true" : "false";

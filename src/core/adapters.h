@@ -98,6 +98,50 @@ class RecordingMap {
     return n;
   }
 
+  // Atomic batch (apply_batch): each op of a committed batch is recorded as
+  // one kBatchPut/kBatchRemove event sharing the batch's invoke/response
+  // interval -- the checker then demands a single point where every per-key
+  // transition is simultaneously legal, which is exactly batch atomicity
+  // projected per key. Templated on the op type so the adapter still wraps
+  // inner maps without a batch API (only instantiated on use).
+  template <class Op>
+  std::size_t apply_batch(std::vector<Op>& ops) {
+    if (recorder_ == nullptr) return inner_.apply_batch(ops);
+    auto& log = recorder_->thread_log();
+    const std::uint64_t t0 = tsc_now();
+    const std::size_t n = inner_.apply_batch(ops);
+    const std::uint64_t t1 = tsc_now();
+    for (const auto& op : ops) {
+      const bool put = op.kind == mvcc::BatchOpKind::kPut;
+      log.record(put ? check::OpKind::kBatchPut : check::OpKind::kBatchRemove,
+                 op.key, put ? op.value : 0, op.applied, t0, t1);
+    }
+    return n;
+  }
+
+  // Versioned snapshot scan: one kSnapObserve per mapping returned, all
+  // sharing the scan's interval (per-key decomposition, like ranges).
+  template <class Fn>
+  std::size_t snapshot_range(K lo, K hi, Fn&& fn) {
+    if (recorder_ == nullptr) {
+      auto view = inner_.snapshot_at();
+      return inner_.range_for_each_at(view, lo, hi, fn);
+    }
+    auto& log = recorder_->thread_log();
+    std::vector<std::pair<K, V>> observed;
+    const std::uint64_t t0 = tsc_now();
+    auto view = inner_.snapshot_at();
+    const std::size_t n = inner_.range_for_each_at(view, lo, hi, [&](K k, V v) {
+      observed.emplace_back(k, v);
+      fn(k, v);
+    });
+    const std::uint64_t t1 = tsc_now();
+    for (const auto& [k, v] : observed) {
+      log.record(check::OpKind::kSnapObserve, k, v, /*ok=*/true, t0, t1);
+    }
+    return n;
+  }
+
   std::size_t size_approx() const { return inner_.size_approx(); }
 
   bool validate(std::string* err = nullptr) const {

@@ -9,9 +9,12 @@
 // queries remain natural: shard i owns keys in [i * span, (i+1) * span).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/skip_vector.h"
@@ -37,10 +40,14 @@ class ShardedSkipVector {
       throw std::invalid_argument("need key_space >= 1 and shard_count >= 1");
     }
     shards_.reserve(shard_count);
+    gates_.reserve(shard_count);
     for (std::uint32_t i = 0; i < shard_count; ++i) {
       shards_.push_back(std::make_unique<Shard>(config));
+      gates_.push_back(std::make_unique<std::mutex>());
     }
   }
+
+  using BatchOp = typename Shard::BatchOp;
 
   std::uint32_t shard_count() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
@@ -71,13 +78,23 @@ class ShardedSkipVector {
     return std::nullopt;
   }
 
-  // Range ops span shards in ascending key order. NOTE: unlike the single
-  // instance, a cross-shard range operation is serializable per shard but
-  // not atomic across shards (each shard's segment linearizes separately);
-  // single-shard ranges keep the full guarantee. This is the classic
-  // sharding trade-off (NUMASK makes the same one).
+  // Range ops span shards in ascending key order. Multi-shard operations
+  // (ranges, transforms, batches, snapshots touching more than one shard)
+  // additionally hold the gate mutexes of every intersecting shard,
+  // acquired in ascending shard order (deadlock-free 2PL over shards), for
+  // their whole duration. This serializes multi-shard operations against
+  // each other, closing the gap the earlier revision documented (two
+  // cross-shard scans/batches could observe each other's partial effects);
+  // single-shard operations never touch a gate and keep their full
+  // per-shard linearizability. Point writers still bypass gates, so a
+  // multi-shard scan is serializable -- each shard segment is an atomic
+  // sub-scan and all multi-shard ops are totally ordered -- but not
+  // linearizable with respect to real time across shards (that would
+  // require gating every point op; the classic sharding trade-off NUMASK
+  // makes too).
   template <class Fn>
   std::size_t range_for_each(K lo, K hi, Fn&& fn) {
+    const auto guard = gate_span(lo, hi);
     std::size_t n = 0;
     for_intersecting(lo, hi, [&](Shard& s, K slo, K shi) {
       n += s.range_for_each(slo, shi, fn);
@@ -87,11 +104,76 @@ class ShardedSkipVector {
 
   template <class Fn>
   std::size_t range_transform(K lo, K hi, Fn&& fn) {
+    const auto guard = gate_span(lo, hi);
     std::size_t n = 0;
     for_intersecting(lo, hi, [&](Shard& s, K slo, K shi) {
       n += s.range_transform(slo, shi, fn);
     });
     return n;
+  }
+
+  // Consistent copy of [lo, hi]: single-shard requests delegate to the
+  // shard's wait-free versioned snapshot; multi-shard requests additionally
+  // hold the shard gates, so concurrent multi-shard batches cannot commit
+  // between the per-shard pins (each segment is still taken via the shard's
+  // own snapshot_at, so single-shard writers are never blocked).
+  std::vector<std::pair<K, V>> snapshot(K lo, K hi) {
+    const auto guard = gate_span(lo, hi);
+    std::vector<std::pair<K, V>> out;
+    for_intersecting(lo, hi, [&](Shard& s, K slo, K shi) {
+      auto part = s.snapshot(slo, shi);
+      out.insert(out.end(), part.begin(), part.end());
+    });
+    return out;
+  }
+
+  // Atomic multi-key batch. Ops are routed to their shards; a batch
+  // confined to one shard commits through that shard's apply_batch
+  // unchanged (single commit version, fully atomic). A cross-shard batch
+  // holds the gates of every involved shard in ascending shard order while
+  // the per-shard sub-batches commit, so no multi-shard reader or batch
+  // observes it partially applied. Each op's `applied` field is written
+  // back; returns the number of presence-changing ops.
+  std::size_t apply_batch(std::vector<BatchOp>& ops) {
+    if (ops.empty()) return 0;
+    // Partition op indices by shard.
+    std::vector<std::pair<std::size_t, std::uint32_t>> by_shard;  // (shard, i)
+    by_shard.reserve(ops.size());
+    for (std::uint32_t i = 0; i < ops.size(); ++i) {
+      by_shard.emplace_back(shard_index(ops[i].key), i);
+    }
+    std::stable_sort(by_shard.begin(), by_shard.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    const std::size_t first_shard = by_shard.front().first;
+    const std::size_t last_shard = by_shard.back().first;
+    std::vector<std::unique_lock<std::mutex>> gates;
+    if (first_shard != last_shard) {
+      for (std::size_t s = first_shard; s <= last_shard; ++s) {
+        // Lock only involved shards (the span may have holes).
+        const bool involved =
+            std::any_of(by_shard.begin(), by_shard.end(),
+                        [&](const auto& p) { return p.first == s; });
+        if (involved) gates.emplace_back(*gates_[s]);
+      }
+    }
+    std::size_t applied = 0;
+    std::size_t i = 0;
+    std::vector<BatchOp> sub;
+    while (i < by_shard.size()) {
+      const std::size_t s = by_shard[i].first;
+      sub.clear();
+      const std::size_t begin = i;
+      for (; i < by_shard.size() && by_shard[i].first == s; ++i) {
+        sub.push_back(ops[by_shard[i].second]);
+      }
+      applied += shards_[s]->apply_batch(sub);
+      for (std::size_t j = begin; j < i; ++j) {
+        ops[by_shard[j].second].applied = sub[j - begin].applied;
+      }
+    }
+    return applied;
   }
 
   template <class Fn>
@@ -123,9 +205,27 @@ class ShardedSkipVector {
   }
 
  private:
-  Shard& shard_for(K k) {
+  std::size_t shard_index(K k) const noexcept {
     const auto i = static_cast<std::size_t>(k / span_);
-    return *shards_[i < shards_.size() ? i : shards_.size() - 1];
+    return i < shards_.size() ? i : shards_.size() - 1;
+  }
+  Shard& shard_for(K k) { return *shards_[shard_index(k)]; }
+
+  // Lock the gates of every shard intersecting [lo, hi], ascending, iff the
+  // interval spans more than one shard. Returns the held locks (empty for
+  // the single-shard fast path).
+  std::vector<std::unique_lock<std::mutex>> gate_span(K lo, K hi) {
+    std::vector<std::unique_lock<std::mutex>> held;
+    if (hi >= key_space_) hi = static_cast<K>(key_space_ - 1);
+    if (lo > hi) return held;
+    const std::size_t first = shard_index(lo);
+    const std::size_t last = shard_index(hi);
+    if (first == last) return held;
+    held.reserve(last - first + 1);
+    for (std::size_t s = first; s <= last; ++s) {
+      held.emplace_back(*gates_[s]);
+    }
+    return held;
   }
 
   template <class Body>
@@ -145,6 +245,9 @@ class ShardedSkipVector {
   const std::uint64_t key_space_;
   const std::uint64_t span_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-shard gate mutexes, held (ascending) by multi-shard operations
+  // only; heap-allocated so the shard vector stays movable.
+  std::vector<std::unique_ptr<std::mutex>> gates_;
 };
 
 }  // namespace sv::core

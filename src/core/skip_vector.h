@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <new>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -53,6 +54,7 @@
 #include "common/hw.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "core/mvcc.h"
 #include "debug/audit.h"
 #include "debug/fault_inject.h"
 #include "reclaim/reclaimer.h"
@@ -78,6 +80,7 @@ class SkipVectorMap {
   using Lock = sync::SequenceLock;
   using Word = Lock::Word;
   using Ctx = typename Reclaimer::ThreadCtx;
+  using VRecord = mvcc::VersionRecord<K, V>;
 
   // ---- Node layout ---------------------------------------------------------
 
@@ -88,6 +91,12 @@ class SkipVectorMap {
     const std::uint32_t capacity;
     const std::uint8_t layer;  // 0 = data layer
     const bool is_head;
+    // Multiversioning (data layer only; docs/SNAPSHOTS.md): the commit
+    // version at which the live contents became valid, and the chain of
+    // immutable pre-image records (newest first, strictly descending
+    // version). Both are written only under this node's write lock.
+    std::atomic<std::uint64_t> mod_version{0};
+    std::atomic<VRecord*> vchain{nullptr};
 
     NodeBase(NodeBase* down, std::uint32_t cap, std::uint8_t lyr, bool head,
              bool orphan) noexcept
@@ -354,16 +363,18 @@ class SkipVectorMap {
   // chunk); the returned value is stored back. Returns mappings visited.
   template <class Fn>
   std::size_t range_transform(K lo, K hi, Fn&& fn) {
-    return range_locked(lo, hi, [&](DataNode* n) -> std::size_t {
-      return n->vec.transform_range(lo, hi, fn);
-    });
+    return range_locked(lo, hi, /*mutating=*/true,
+                        [&](DataNode* n) -> std::size_t {
+                          return n->vec.transform_range(lo, hi, fn);
+                        });
   }
 
   // Read-only range query, same locking discipline (serializable).
   // fn(K, V) is invoked in ascending key order. Returns count visited.
   template <class Fn>
   std::size_t range_for_each(K lo, K hi, Fn&& fn) {
-    return range_locked(lo, hi, [&](DataNode* n) -> std::size_t {
+    return range_locked(lo, hi, /*mutating=*/false,
+                        [&](DataNode* n) -> std::size_t {
       std::size_t visited = 0;
       n->vec.for_each_ordered([&](K k, V v) {
         if (k >= lo && k <= hi) {
@@ -402,6 +413,8 @@ class SkipVectorMap {
         as_index(h)->vec.clear();
       } else {
         as_data(h)->vec.clear();
+        free_chain(h->vchain.exchange(nullptr, std::memory_order_relaxed));
+        h->mod_version.store(version_reserve(), std::memory_order_relaxed);
       }
       h->lock.acquire();  // bump the version: invalidate stale observers
       h->lock.release();
@@ -470,13 +483,183 @@ class SkipVectorMap {
   const_iterator begin() const { return const_iterator(heads_[0]); }
   const_iterator end() const { return const_iterator(); }
 
-  // Consistent copy of every mapping in [lo, hi] (a linearizable snapshot,
-  // the capability the paper contrasts against non-linearizable range
-  // queries in competing skip lists, §V-B).
+  // ---- Snapshots and atomic batches (Jiffy-style multiversioning) ------------
+  //
+  // docs/SNAPSHOTS.md. Every committed mutation bumps a global commit
+  // version; while a snapshot is registered, writers preserve per-chunk
+  // pre-image records on a short version chain before overwriting live
+  // state. A reader pinned at version v resolves each data chunk either
+  // from its live contents (unchanged since v) or from the newest chain
+  // record at-or-below v -- it never restarts against writers.
+
+  using BatchOp = mvcc::BatchOp<K, V>;
+
+  // A pinned read version. While a view is live, writers preserve every
+  // chunk state it may need; destroying (or moving from) the view releases
+  // the pin. When the registry is full (kSlots concurrent snapshots) the
+  // view is unversioned and readers fall back to the locked range path --
+  // still linearizable, just not wait-free.
+  class SnapshotView {
+   public:
+    SnapshotView() = default;
+    SnapshotView(SnapshotView&& o) noexcept
+        : map_(o.map_), slot_(o.slot_), version_(o.version_) {
+      o.map_ = nullptr;
+      o.slot_ = -1;
+    }
+    SnapshotView& operator=(SnapshotView&& o) noexcept {
+      if (this != &o) {
+        release_slot();
+        map_ = o.map_;
+        slot_ = o.slot_;
+        version_ = o.version_;
+        o.map_ = nullptr;
+        o.slot_ = -1;
+      }
+      return *this;
+    }
+    SnapshotView(const SnapshotView&) = delete;
+    SnapshotView& operator=(const SnapshotView&) = delete;
+    ~SnapshotView() { release_slot(); }
+
+    // The pinned commit version (0 for an unversioned fallback view).
+    std::uint64_t version() const noexcept { return version_; }
+    // False when the registry was full and this view reads via locks.
+    bool versioned() const noexcept { return slot_ >= 0; }
+
+   private:
+    friend class SkipVectorMap;
+    void release_slot() noexcept {
+      if (map_ != nullptr && slot_ >= 0) map_->snaps_.release(slot_);
+      map_ = nullptr;
+      slot_ = -1;
+    }
+    SkipVectorMap* map_ = nullptr;
+    int slot_ = -1;
+    std::uint64_t version_ = 0;
+  };
+
+  // Pin the current commit version. The claim-then-load order makes the
+  // registration visible to every writer whose commit exceeds the pinned
+  // version (see mvcc::SnapshotRegistry).
+  SnapshotView snapshot_at() {
+    SnapshotView view;
+    view.map_ = this;
+    const std::uint64_t pre = commit_version_.load(std::memory_order_seq_cst);
+    view.slot_ = snaps_.try_claim(pre);
+    if (view.slot_ < 0) return view;  // registry full: unversioned fallback
+    view.version_ = commit_version_.load(std::memory_order_seq_cst);
+    snaps_.refine(view.slot_, view.version_);
+    return view;
+  }
+
+  // Read-only scan of [lo, hi] at the view's pinned version, fn(K, V) in
+  // ascending key order. Wait-free against writers: the data-layer walk
+  // never restarts (kSnapshotScanRestarts stays 0); an in-flight commit on
+  // a chunk costs a bounded wait, and a concurrent split/merge a bounded
+  // per-chunk re-read. Returns mappings visited.
+  template <class Fn>
+  std::size_t range_for_each_at(const SnapshotView& view, K lo, K hi,
+                                Fn&& fn) {
+    if (!view.versioned() || view.map_ != this) {
+      return range_for_each(lo, hi, std::forward<Fn>(fn));
+    }
+    stats::Scope stats_scope(stats_);
+    stats::count(stats::Counter::kSnapshotScans);
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    sync::Backoff backoff;
+    // The cursor (and visited count) live OUTSIDE the retry loop: a
+    // speculative-descent failure re-positions but never re-emits, so the
+    // scan's output stays append-only across retries.
+    std::size_t visited = 0;
+    bool emitted = false;
+    K last{};
+    for (;;) {
+      if (try_range_at(ctx, view.version_, lo, hi, fn, visited, emitted,
+                       last)) {
+        if (visited > 0) {
+          stats::count(stats::Counter::kRangeKeysVisited, visited);
+        }
+        return visited;
+      }
+      // Only the index-layer positioning can fail (speculative descent);
+      // the versioned data-layer emission itself never restarts.
+      ctx.drop_all();
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      stats::count(stats::Counter::kOpRestarts);
+      backoff.pause();
+    }
+  }
+
+  // Consistent copy of every mapping in [lo, hi]: a linearizable snapshot
+  // taken at a single commit version (the capability the paper contrasts
+  // against non-linearizable range queries in competing skip lists, §V-B),
+  // wait-free against concurrent writers via the version chains.
   std::vector<std::pair<K, V>> snapshot(K lo, K hi) {
+    SnapshotView view = snapshot_at();
     std::vector<std::pair<K, V>> out;
-    range_for_each(lo, hi, [&](K k, V v) { out.emplace_back(k, v); });
+    range_for_each_at(view, lo, hi,
+                      [&](K k, V v) { out.emplace_back(k, v); });
     return out;
+  }
+
+  // Atomic multi-key batch (Jiffy's bulk update): all ops become visible at
+  // one commit version -- no reader, scan, or snapshot observes a partially
+  // applied batch. Puts upsert, removes erase; ops on the same key apply in
+  // their given order. Each op's `applied` field is set to whether it
+  // changed the key's presence (new-key put / present-key remove); returns
+  // the number of such ops. Chunk locks are claimed left-to-right with
+  // no-wait upgrades (abort, back off, retry), so batches interleave safely
+  // with each other, with range 2PL, and with single-key writers.
+  std::size_t apply_batch(BatchOp* ops, std::size_t n) {
+    if (n == 0) return 0;
+    stats::Scope stats_scope(stats_);
+    Ctx ctx = reclaimer_.thread_ctx();
+    OpGuard op_scope(ctx);
+    // Stable key order: lock acquisition order for deadlock freedom, and
+    // same-key ops keep their submission order.
+    std::vector<std::uint32_t> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return ops[a].key < ops[b].key;
+                     });
+    sync::Backoff backoff;
+    for (;;) {
+      std::size_t applied = 0;
+      std::int64_t delta = 0;
+      bool need_demote = false;
+      K demote_key{};
+      if (try_apply_batch(ctx, ops, order, applied, delta, need_demote,
+                          demote_key)) {
+        if (delta != 0) approx_size_.fetch_add(delta, std::memory_order_relaxed);
+        stats::count(stats::Counter::kBatchCommits);
+        if (applied > 0) stats::count(stats::Counter::kBatchKeys, applied);
+        return applied;
+      }
+      ctx.drop_all();
+      stats::count(stats::Counter::kBatchAborts);
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (need_demote) {
+        // A remove targets a towered key: demote its tower (a benign
+        // structural op -- the key stays present) outside the locking
+        // pass, then retry the batch.
+        demote_tower(ctx, demote_key);
+      }
+      backoff.pause();
+    }
+  }
+  std::size_t apply_batch(std::span<BatchOp> ops) {
+    return apply_batch(ops.data(), ops.size());
+  }
+  std::size_t apply_batch(std::vector<BatchOp>& ops) {
+    return apply_batch(ops.data(), ops.size());
+  }
+
+  // Current global commit version (diagnostics/tests).
+  std::uint64_t commit_version() const noexcept {
+    return commit_version_.load(std::memory_order_relaxed);
   }
 
   // ---- Bulk construction (quiescent) -----------------------------------------
@@ -563,16 +746,21 @@ class SkipVectorMap {
 
   // ---- Serialization (quiescent) ----------------------------------------------
   //
-  // Minimal binary snapshot format: magic, element count, then (key, value)
-  // pairs in ascending order. load() into an empty map uses bulk_load, so a
-  // restored map is perfectly packed. Format is host-endian (a snapshot is
-  // a local artifact, not a wire format).
+  // Minimal binary snapshot format: magic, endianness marker, element
+  // count, then (key, value) pairs in ascending order. load() into an empty
+  // map uses bulk_load, so a restored map is perfectly packed. Payload
+  // stays host-endian (a snapshot is a local artifact, not a wire format),
+  // but the marker makes a foreign-endian file a clean error instead of
+  // silently-garbled keys, and the count is validated against the stream
+  // length before any allocation, so a corrupt header cannot drive an OOM.
 
-  static constexpr std::uint64_t kSnapshotMagic = 0x53564543544F5231ULL;
+  static constexpr std::uint64_t kSnapshotMagic = 0x53564543544F5232ULL;
+  static constexpr std::uint16_t kEndianMark = 0x0102;
 
   void save(std::ostream& out) const {
     const std::uint64_t n = size_approx();
     write_pod(out, kSnapshotMagic);
+    write_pod(out, kEndianMark);
     write_pod(out, n);
     std::uint64_t written = 0;
     for_each([&](K k, V v) {
@@ -585,16 +773,51 @@ class SkipVectorMap {
     }
   }
 
-  // Map must be empty. Throws std::runtime_error on a malformed stream.
+  // Map must be empty. Throws std::runtime_error on a malformed stream: bad
+  // magic, an endianness mismatch, or a count exceeding the stream's actual
+  // payload (the previous format trusted the on-disk count and could be
+  // made to reserve arbitrary memory from a 16-byte file).
   void load(std::istream& in) {
     std::uint64_t magic = 0, n = 0;
+    std::uint16_t endian = 0;
     read_pod(in, magic);
     if (!in || magic != kSnapshotMagic) {
       throw std::runtime_error("bad snapshot magic");
     }
+    read_pod(in, endian);
+    if (!in || endian != kEndianMark) {
+      throw std::runtime_error(
+          endian == 0x0201
+              ? "snapshot endianness mismatch (saved on a foreign-endian host)"
+              : "bad snapshot endianness marker");
+    }
     read_pod(in, n);
+    if (!in) throw std::runtime_error("truncated snapshot");
+    constexpr std::uint64_t kPairBytes = sizeof(K) + sizeof(V);
+    // Bound n by the bytes actually present before reserving. Seekable
+    // streams give an exact remaining-byte count; for non-seekable streams
+    // skip the pre-validation (the per-pair read check below still rejects
+    // truncation) but cap the speculative reserve.
+    std::uint64_t reserve_n = n;
+    const std::istream::pos_type here = in.tellg();
+    if (here != std::istream::pos_type(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::istream::pos_type end = in.tellg();
+      in.seekg(here);
+      if (in && end != std::istream::pos_type(-1)) {
+        const std::uint64_t remaining =
+            static_cast<std::uint64_t>(end - here);
+        if (n > remaining / kPairBytes) {
+          throw std::runtime_error(
+              "snapshot count exceeds stream payload (corrupt header)");
+        }
+      }
+    } else {
+      in.clear();  // tellg(-1) sets failbit on some streams
+      reserve_n = std::min<std::uint64_t>(n, 1u << 20);
+    }
     std::vector<std::pair<K, V>> data;
-    data.reserve(n);
+    data.reserve(reserve_n);
     for (std::uint64_t i = 0; i < n; ++i) {
       K k{};
       V v{};
@@ -920,8 +1143,39 @@ class SkipVectorMap {
   }
 
   void free_node(NodeBase* n) {
-    // Node types are trivially destructible aggregates of atomics.
+    // Node types are trivially destructible aggregates of atomics. A data
+    // chunk owns its version chain: by the time a retired node is actually
+    // reclaimed no reader can reach it (hazard/epoch protection), so the
+    // chain records die with it.
+    free_chain(n->vchain.exchange(nullptr, std::memory_order_relaxed));
     alloc_.deallocate(n, node_bytes(n));
+  }
+
+  // ---- Version-chain storage (docs/SNAPSHOTS.md) -----------------------------
+
+  VRecord* alloc_record(std::uint64_t version, std::uint32_t count,
+                        VRecord* next) {
+    const std::size_t bytes = VRecord::bytes_for(count);
+    auto* rec = static_cast<VRecord*>(alloc_.allocate(bytes));
+    rec->version = version;
+    rec->next.store(next, std::memory_order_relaxed);
+    rec->count = count;
+    rec->bytes = static_cast<std::uint32_t>(bytes);
+    stats::count(stats::Counter::kVersionRecords);
+    return rec;
+  }
+
+  void free_record(VRecord* rec) {
+    stats::count(stats::Counter::kVersionRecordsFreed);
+    alloc_.deallocate(rec, rec->bytes);
+  }
+
+  void free_chain(VRecord* rec) {
+    while (rec != nullptr) {
+      VRecord* next = rec->next.load(std::memory_order_relaxed);
+      free_record(rec);
+      rec = next;
+    }
   }
 
   // Owned deleter handed to the reclaimer: routes a retired node back
@@ -1086,6 +1340,16 @@ class SkipVectorMap {
         SV_FAULT_POINT(debug::Point::kMerge);  // both write locks held
         orphan_merges_.fetch_add(1, std::memory_order_relaxed);
         stats::count(stats::Counter::kOrphanMerges);
+        // Data-layer merges commit a state change: fold the version chains
+        // (union records land on the surviving left node; the drained
+        // orphan keeps its own pre-image for readers already past us) and
+        // stamp both nodes so snapshot readers pinned below c resolve from
+        // the chains, not the post-merge live contents.
+        std::uint64_t merge_ver = 0;
+        if (t.node->layer == 0) {
+          merge_ver = version_reserve();
+          if (snapshots_active()) fold_merge(t.node, next);
+        }
 #if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION
         // Mutation site (checker-teeth testing only): when fired, unlink the
         // orphan WITHOUT absorbing its elements -- every mapping it held
@@ -1095,6 +1359,17 @@ class SkipVectorMap {
         node_merge_from(t.node, next);
         t.node->next.store(next->next.load(std::memory_order_relaxed),
                            std::memory_order_release);
+        if (t.node->layer == 0) {
+          next->mod_version.store(merge_ver, std::memory_order_release);
+          t.node->mod_version.store(merge_ver, std::memory_order_release);
+        }
+        // Poison the retired node's successor pointer. A versioned reader
+        // standing on `next` (it holds a hazard pointer, so the node
+        // itself stays allocated) must not chase the frozen successor: the
+        // successor could be merged away and freed later, and a frozen
+        // pointer can never fail a recheck. The sentinel turns that stale
+        // advance into an explicit re-position (resolve_chunk_at).
+        next->next.store(retired_next(), std::memory_order_release);
         // Release before retiring: `next` is already unlinked while both
         // locks are held, so no new reader can reach it, and an immediate
         // reclaimer frees it inside retire().
@@ -1281,6 +1556,12 @@ class SkipVectorMap {
       return true;
     }
 
+    // The insert commits: reserve its version now (the data chunk is frozen
+    // by us, so the reserve-before-mutate ordering holds) and decide once
+    // whether pre-images must be preserved for registered snapshots.
+    const std::uint64_t c = version_reserve();
+    const bool preserve = snapshots_active();
+
     // Build new nodes bottom-up for layers [0, height), each containing k
     // plus every element of prevs[layer] greater than k (Listing 3 32-39).
     NodeBase* below = nullptr;
@@ -1289,10 +1570,14 @@ class SkipVectorMap {
       prev->lock.upgrade_frozen();
       NodeBase* fresh;
       if (layer == 0) {
+        if (preserve) push_preimage(prev);
         auto* dn = alloc_split_node<DataNode, V>(as_data(prev)->vec, k,
                                                  config_.data_capacity(), 0);
         as_data(prev)->vec.steal_greater(k, dn->vec);
         dn->vec.insert(k, v);
+        if (preserve) fold_split(prev, dn, k);
+        dn->mod_version.store(c, std::memory_order_relaxed);
+        prev->mod_version.store(c, std::memory_order_release);
         fresh = dn;
       } else {
         auto* in = alloc_split_node<IndexNode, NodeBase*>(
@@ -1347,7 +1632,9 @@ class SkipVectorMap {
 #endif
     prev->lock.upgrade_frozen();
     if (height == 0) {
-      insert_at_top<DataNode, V>(as_data(prev), k, v);
+      if (preserve) push_preimage(prev);
+      insert_at_top<DataNode, V>(as_data(prev), k, v, c, preserve);
+      prev->mod_version.store(c, std::memory_order_release);
     } else {
       insert_at_top<IndexNode, NodeBase*>(as_index(prev), k, below);
     }
@@ -1373,7 +1660,8 @@ class SkipVectorMap {
   }
 
   template <class NodeType, class P>
-  void insert_at_top(NodeType* node, K k, P payload) {
+  void insert_at_top(NodeType* node, K k, P payload,
+                     std::uint64_t commit_ver = 0, bool preserve = false) {
     if (node->vec.full()) {
       // Capacity split: the new right sibling is an orphan (no parent entry
       // exists for it; a later merge may fold it back, Fig. 3d). The
@@ -1389,6 +1677,12 @@ class SkipVectorMap {
         const bool ok = sib->vec.insert(k, payload);
         assert(ok);
         (void)ok;
+      }
+      if constexpr (std::is_same_v<NodeType, DataNode>) {
+        // Data-layer split: re-partition the version chain across the new
+        // boundary and stamp the sibling before it becomes reachable.
+        if (preserve) fold_split(node, sib, sib_min);
+        sib->mod_version.store(commit_ver, std::memory_order_relaxed);
       }
       sib->next.store(node->next.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
@@ -1449,7 +1743,10 @@ class SkipVectorMap {
         return true;
       }
 #endif
+      const std::uint64_t c = version_reserve();
+      if (snapshots_active()) push_preimage(t.node);
       result = as_data(t.node)->vec.erase(k);
+      if (result) t.node->mod_version.store(c, std::memory_order_release);
       t.node->lock.release();
       ctx.drop_all();
       return true;
@@ -1475,9 +1772,11 @@ class SkipVectorMap {
       curr->lock.release();
       curr = down;
     }
+    const std::uint64_t c = version_reserve();
+    if (snapshots_active()) push_preimage(curr);
     const bool erased = as_data(curr)->vec.erase(k);
     assert(erased);
-    (void)erased;
+    if (erased) curr->mod_version.store(c, std::memory_order_release);
     curr->lock.release();
     ctx.drop_all();
     result = true;
@@ -1497,7 +1796,10 @@ class SkipVectorMap {
     }
     if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
     if (!t.node->lock.try_upgrade(t.ver)) return false;
+    const std::uint64_t c = version_reserve();
+    if (snapshots_active()) push_preimage(t.node);
     result = as_data(t.node)->vec.assign(k, v);
+    if (result) t.node->mod_version.store(c, std::memory_order_release);
     t.node->lock.release();
     ctx.drop_all();
     return true;
@@ -1635,14 +1937,14 @@ class SkipVectorMap {
   // body(node) on each (body returns its visit count), release all.
   // Returns the total number of mappings visited.
   template <class Body>
-  std::size_t range_locked(K lo, K hi, Body&& body) {
+  std::size_t range_locked(K lo, K hi, bool mutating, Body&& body) {
     stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
     sync::Backoff backoff;
     for (;;) {
       std::size_t visited = 0;
-      if (try_range(ctx, lo, hi, body, visited)) {
+      if (try_range(ctx, lo, hi, mutating, body, visited)) {
         stats::count(stats::Counter::kRangeOps);
         if (visited > 0) stats::count(stats::Counter::kRangeKeysVisited, visited);
         return visited;
@@ -1655,7 +1957,8 @@ class SkipVectorMap {
   }
 
   template <class Body>
-  bool try_range(Ctx& ctx, K lo, K hi, Body& body, std::size_t& visited) {
+  bool try_range(Ctx& ctx, K lo, K hi, bool mutating, Body& body,
+                 std::size_t& visited) {
     Trav t = begin_traversal(ctx);
     while (t.node->layer > 0) {
       if (!traverse_right(ctx, t, lo, /*mutator=*/false)) return false;
@@ -1682,8 +1985,668 @@ class SkipVectorMap {
       locked.push_back(next);
       if (nsz > 0 && node_max_key(next) > hi) break;
     }
-    for (NodeBase* n : locked) visited += body(as_data(n));
+    if (mutating) {
+      // One commit version covers the whole locked range: the transform is
+      // a single atomic state change to snapshot readers.
+      const std::uint64_t c = version_reserve();
+      const bool preserve = snapshots_active();
+      for (NodeBase* n : locked) {
+        if (preserve) push_preimage(n);
+        visited += body(as_data(n));
+        n->mod_version.store(c, std::memory_order_release);
+      }
+    } else {
+      for (NodeBase* n : locked) visited += body(as_data(n));
+    }
     for (NodeBase* n : locked) n->lock.release();
+    return true;
+  }
+
+  // ---- Multiversioning implementation (docs/SNAPSHOTS.md) --------------------
+  //
+  // Invariants: mod_version and vchain of a data chunk are written only
+  // under its write lock; chain records are immutable after publication and
+  // strictly descend by version; each chunk's chain describes the chunk's
+  // own key sub-range at past versions, with splits and merges re-
+  // partitioning ("folding") the chains across the new boundary so every
+  // retained version stays resolvable from the chunks a reader can reach.
+
+  static constexpr std::size_t kMaxChainLength = 8;
+
+  // Reserve the next commit version. Callers hold the write locks of every
+  // chunk they will mutate BEFORE reserving, push pre-images after
+  // reserving and before the first mutation, and store mod_version = c
+  // before releasing. The reserve-then-check-registry order pairs with the
+  // registry's claim-then-load order (mvcc::SnapshotRegistry) so a writer
+  // never misses a reader it must preserve state for.
+  std::uint64_t version_reserve() noexcept {
+    return commit_version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  bool snapshots_active() const noexcept { return snaps_.active() != 0; }
+
+  // Record the chunk's current live contents at its current mod_version
+  // (callers hold the chunk's write lock and have already reserved a newer
+  // commit version). No-op when that state is already the chain head.
+  void push_preimage(NodeBase* n) {
+    const std::uint64_t m = n->mod_version.load(std::memory_order_relaxed);
+    VRecord* head = n->vchain.load(std::memory_order_relaxed);
+    if (head != nullptr && head->version == m) {
+      maybe_prune(n);
+      return;
+    }
+    // A record at version m is only ever resolved by a reader pinned at
+    // p >= m; when the registry can prove no such pin exists, skip the
+    // push. This is what bounds chain growth (and keeps writers O(chain))
+    // under a long-pinned view: its first preserved record satisfies it
+    // forever, and every later commit on the chunk lands here.
+    if (!snaps_.needs_preimage(m)) {
+      stats::count(stats::Counter::kPreimagesSkipped);
+      maybe_prune(n);
+      return;
+    }
+    const std::uint32_t count = as_data(n)->vec.size();
+    VRecord* rec = alloc_record(m, count, head);
+    std::uint32_t i = 0;
+    as_data(n)->vec.for_each([&](K k, V v) {
+      if (i < count) {
+        rec->keys()[i] = k;
+        rec->vals()[i] = v;
+        ++i;
+      }
+    });
+    n->vchain.store(rec, std::memory_order_release);
+    maybe_prune(n);
+  }
+
+  // Truncate chain records no registered snapshot can reach: keep every
+  // record newer than the registry floor plus the newest record at-or-below
+  // it. A walker pinned at v >= floor targets the newest record <= v, which
+  // is always inside the kept prefix, and its transit hops only touch
+  // records with version > v -- so the detached tail is freed directly.
+  void maybe_prune(NodeBase* n) {
+    VRecord* head = n->vchain.load(std::memory_order_relaxed);
+    std::size_t len = 0;
+    for (VRecord* r = head; r != nullptr;
+         r = r->next.load(std::memory_order_relaxed)) {
+      ++len;
+    }
+    if (len <= kMaxChainLength) return;
+    const std::uint64_t floor = snaps_.floor();
+    if (floor == mvcc::SnapshotRegistry::kNoFloor) {
+      // No registered snapshot: nothing reads this chain now, and any
+      // future snapshot is served by pre-images pushed by later commits
+      // (its registration precedes, in seq_cst order, every commit newer
+      // than its pinned version).
+      free_chain(n->vchain.exchange(nullptr, std::memory_order_relaxed));
+      return;
+    }
+    for (VRecord* r = head; r != nullptr;
+         r = r->next.load(std::memory_order_relaxed)) {
+      if (r->version <= floor) {
+        free_chain(r->next.exchange(nullptr, std::memory_order_relaxed));
+        return;
+      }
+    }
+  }
+
+  // Split fold: partition `left`'s chain across the new boundary so each
+  // side's records describe only its own key sub-range at every retained
+  // version. Filtered copies are PREPENDED to left's old chain (same
+  // version sequence): in-flight walkers on old records stay safe, new
+  // walkers stop in the filtered prefix, and the shadowed tail dies via
+  // pruning or with the node. `sib` is unpublished (or locked), so its
+  // chain is written fresh. Caller holds left's write lock.
+  void fold_split(NodeBase* left, NodeBase* sib, K bound) {
+    VRecord* old_head = left->vchain.load(std::memory_order_relaxed);
+    if (old_head == nullptr) return;
+    SV_FAULT_POINT(debug::Point::kVersionFold);
+    stats::count(stats::Counter::kVersionFolds);
+    std::vector<VRecord*> recs;
+    for (VRecord* r = old_head; r != nullptr;
+         r = r->next.load(std::memory_order_relaxed)) {
+      recs.push_back(r);
+    }
+    VRecord* left_chain = old_head;
+    VRecord* sib_chain = sib->vchain.load(std::memory_order_relaxed);
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it) {  // oldest first
+      VRecord* r = *it;
+      std::uint32_t nl = 0;
+      for (std::uint32_t i = 0; i < r->count; ++i) {
+        if (r->keys()[i] < bound) ++nl;
+      }
+      VRecord* lr = alloc_record(r->version, nl, left_chain);
+      VRecord* sr = alloc_record(r->version, r->count - nl, sib_chain);
+      std::uint32_t il = 0, is = 0;
+      for (std::uint32_t i = 0; i < r->count; ++i) {
+        if (r->keys()[i] < bound) {
+          lr->keys()[il] = r->keys()[i];
+          lr->vals()[il] = r->vals()[i];
+          ++il;
+        } else {
+          sr->keys()[is] = r->keys()[i];
+          sr->vals()[is] = r->vals()[i];
+          ++is;
+        }
+      }
+      left_chain = lr;
+      sib_chain = sr;
+    }
+    sib->vchain.store(sib_chain, std::memory_order_release);
+    left->vchain.store(left_chain, std::memory_order_release);
+    maybe_prune(left);
+  }
+
+  // Merge fold, called with both write locks held BEFORE right's elements
+  // are drained into left. Readers that already passed left resolve right
+  // from right's own chain (pre-image pushed here); readers that arrive at
+  // left after the merge -- when right is unreachable -- must resolve the
+  // union of both histories from left's chain alone, so one union record
+  // per distinct retained version is prepended.
+  void fold_merge(NodeBase* left, NodeBase* right) {
+    SV_FAULT_POINT(debug::Point::kVersionFold);
+    stats::count(stats::Counter::kVersionFolds);
+    push_preimage(right);  // right's live pre-merge state, at its version
+    push_preimage(left);   // left's live pre-merge state, at its version
+    std::vector<VRecord*> lrecs, rrecs;  // newest first
+    for (VRecord* r = left->vchain.load(std::memory_order_relaxed);
+         r != nullptr; r = r->next.load(std::memory_order_relaxed)) {
+      lrecs.push_back(r);
+    }
+    for (VRecord* r = right->vchain.load(std::memory_order_relaxed);
+         r != nullptr; r = r->next.load(std::memory_order_relaxed)) {
+      rrecs.push_back(r);
+    }
+    std::vector<std::uint64_t> vers;
+    for (VRecord* r : lrecs) vers.push_back(r->version);
+    for (VRecord* r : rrecs) vers.push_back(r->version);
+    std::sort(vers.begin(), vers.end());
+    vers.erase(std::unique(vers.begin(), vers.end()), vers.end());
+    auto newest_le = [](const std::vector<VRecord*>& recs,
+                        std::uint64_t u) -> VRecord* {
+      for (VRecord* r : recs) {  // newest first
+        if (r->version <= u) return r;
+      }
+      return nullptr;
+    };
+    VRecord* chain = left->vchain.load(std::memory_order_relaxed);
+    for (std::uint64_t u : vers) {  // ascending: prepend => descending chain
+      VRecord* la = newest_le(lrecs, u);
+      VRecord* ra = newest_le(rrecs, u);
+      const std::uint32_t count =
+          (la != nullptr ? la->count : 0) + (ra != nullptr ? ra->count : 0);
+      VRecord* rec = alloc_record(u, count, chain);
+      std::uint32_t i = 0;
+      for (VRecord* src : {la, ra}) {
+        if (src == nullptr) continue;
+        for (std::uint32_t j = 0; j < src->count; ++j) {
+          rec->keys()[i] = src->keys()[j];
+          rec->vals()[i] = src->vals()[j];
+          ++i;
+        }
+      }
+      chain = rec;
+    }
+    left->vchain.store(chain, std::memory_order_release);
+    maybe_prune(left);
+  }
+
+  // Sentinel stored into a retired (merged-away) node's `next` at unlink
+  // time. Never dereferenced: versioned readers treat it as "this chunk
+  // was merged under me, re-position", and every other traversal
+  // validates its source's seqlock word before using a successor -- a
+  // merge write-locks the absorbed node, so those validations fail first.
+  static NodeBase* retired_next() noexcept {
+    return reinterpret_cast<NodeBase*>(std::uintptr_t{1});
+  }
+
+  // Resolve data chunk n's state at version v: appends the mappings within
+  // [lo, hi] to out (cleared first; chunk-local, unsorted) and returns the
+  // successor pointer consistent with the resolved contents plus the
+  // resolved full-state minimum (scan termination). An in-flight commit
+  // costs a bounded wait (read_begin), a racing commit a bounded re-read
+  // (each failure implies a strictly newer commit on this chunk, and
+  // commits at-or-below v are finite), and a structural move of the
+  // successor a bounded re-pair. The one non-local outcome: when n itself
+  // has been merged away under the reader (*retired set), its folded
+  // history lives on the absorbing left sibling and the caller must
+  // re-position from its key cursor.
+  void resolve_chunk_at(NodeBase* n, std::uint64_t v, K lo, K hi,
+                        std::vector<std::pair<K, V>>& out,
+                        NodeBase** next_out, bool* has_min, K* min_out,
+                        bool* retired) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (attempt > 0) stats::count(stats::Counter::kSnapshotChunkRetries);
+      out.clear();
+      const Word w = n->lock.read_begin();
+      const std::uint64_t m = n->mod_version.load(std::memory_order_acquire);
+      if (m <= v) {
+        // Live contents are the state at v: one speculative validated read.
+        bool any = false;
+        K mn{};
+        as_data(n)->vec.for_each([&](K k, V val) {
+          if (!any || k < mn) {
+            mn = k;
+            any = true;
+          }
+          if (!(k < lo) && !(hi < k)) out.emplace_back(k, val);
+        });
+        NodeBase* next = n->next.load(std::memory_order_acquire);
+        if (!n->lock.validate(w)) continue;  // a commit landed: re-evaluate
+        *next_out = next;
+        *has_min = any;
+        if (any) *min_out = mn;
+        stats::count(stats::Counter::kSnapshotChunksLive);
+        return;
+      }
+      // Live is newer than v: resolve from the version chain, pairing the
+      // chosen record with the successor pointer (a split/merge that moves
+      // the successor also folds the chain; the re-read observes both).
+      NodeBase* next1 = n->next.load(std::memory_order_acquire);
+      if (next1 == retired_next()) {
+        *retired = true;  // n was merged away mid-visit: re-position
+        return;
+      }
+      VRecord* r = n->vchain.load(std::memory_order_acquire);
+      while (r != nullptr && r->version > v) {
+        r = r->next.load(std::memory_order_acquire);
+      }
+      NodeBase* next2 = n->next.load(std::memory_order_acquire);
+      if (next2 == retired_next()) {
+        *retired = true;
+        return;
+      }
+      if (next1 != next2) continue;
+      bool any = false;
+      K mn{};
+      if (r != nullptr) {
+        for (std::uint32_t i = 0; i < r->count; ++i) {
+          const K k = r->keys()[i];
+          if (!any || k < mn) {
+            mn = k;
+            any = true;
+          }
+          if (!(k < lo) && !(hi < k)) out.emplace_back(k, r->vals()[i]);
+        }
+      }
+      // r == nullptr: this chunk's sub-range held nothing at v (the chunk
+      // was born after v, or was empty at every retained version <= v).
+      *next_out = next2;
+      *has_min = any;
+      if (any) *min_out = mn;
+      stats::count(stats::Counter::kSnapshotChunksChain);
+      return;
+    }
+  }
+
+  // Versioned scan body. `emitted`/`last` form a key cursor owned by the
+  // caller: fn has been invoked exactly for the keys <= last (when
+  // emitted), and never twice for any key -- the cursor survives both the
+  // internal re-positions below and a speculative-descent retry by the
+  // caller, so a scan's output is append-only. That is the wait-freedom
+  // contract: kSnapshotScanRestarts (emission thrown away and rebuilt)
+  // stays zero by construction.
+  template <class Fn>
+  bool try_range_at(Ctx& ctx, std::uint64_t v, K lo, K hi, Fn& fn,
+                    std::size_t& visited, bool& emitted, K& last) {
+    for (;;) {
+      // Position: descend to the live floor chunk of the first key still
+      // needed. Safe at any pinned v <= now: a chunk's historical
+      // sub-range lower bound never exceeds its live minimum, so every
+      // mapping > cursor at v is resolvable from this chunk or one to its
+      // right.
+      const K target = emitted ? last : lo;
+      Trav t = begin_traversal(ctx);
+      while (t.node->layer > 0) {
+        if (!traverse_right(ctx, t, target, /*mutator=*/false)) return false;
+        NodeBase* down = nullptr;
+        bool exact = false;
+        if (!index_down(t, target, &down, &exact)) return false;
+        if (!exchange_down(ctx, t, down)) return false;
+      }
+      if (!traverse_right(ctx, t, target, /*mutator=*/false)) return false;
+      NodeBase* node = t.node;
+      int slot = t.slot;
+      std::vector<std::pair<K, V>> buf;
+      bool reposition = false;
+      while (!reposition) {
+        NodeBase* next = nullptr;
+        bool has_min = false;
+        bool node_retired = false;
+        K mn{};
+        resolve_chunk_at(node, v, lo, hi, buf, &next, &has_min, &mn,
+                         &node_retired);
+        if (node_retired) {
+          // The chunk under us was merged away; its folded history moved
+          // to the left sibling. Re-descend from the cursor -- emitted
+          // keys are filtered out below, so nothing is reported twice.
+          reposition = true;
+          break;
+        }
+        int nslot = slot;
+        if (next != nullptr) {
+          // Protect-then-recheck: if the successor moved after resolution,
+          // re-resolve so (contents, successor) stay a consistent pair. A
+          // concurrent retire of `node` itself surfaces as the poisoned
+          // pointer on the re-resolve.
+          nslot = other_slot(slot);
+          ctx.protect(nslot, next);
+          if (node->next.load(std::memory_order_acquire) != next) {
+            stats::count(stats::Counter::kSnapshotChunkRetries);
+            continue;
+          }
+        }
+        if (has_min && hi < mn) break;  // everything further lies beyond hi
+        if (!buf.empty()) {
+          std::sort(buf.begin(), buf.end(),
+                    [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+                      return a.first < b.first;
+                    });
+          for (const auto& [bk, bv] : buf) {
+            if (emitted && !(last < bk)) continue;  // cursor: already out
+            fn(bk, bv);
+            ++visited;
+            last = bk;
+            emitted = true;
+          }
+        }
+        if (next == nullptr) break;
+        ctx.drop(slot);
+        node = next;
+        slot = nslot;
+      }
+      ctx.drop_all();
+      if (!reposition) return true;
+      stats::count(stats::Counter::kSnapshotChunkRetries);
+    }
+  }
+
+  // ---- Batch implementation --------------------------------------------------
+
+  // True when `k` still belongs to locked chunk `c` (no better floor to its
+  // right). c's lock pins its successor; a successor's minimum never
+  // decreases, so a positive answer stays valid while we hold the lock.
+  bool covers(NodeBase* c, K k) {
+    NodeBase* next = c->next.load(std::memory_order_acquire);
+    if (next == nullptr) return true;
+    const std::uint32_t sz = node_size(next);
+    return sz > 0 && k < node_min_key(next);
+  }
+
+  // Full speculative descent to the data-layer floor chunk for k, then a
+  // no-wait write-lock. Used for the batch's first key (no locks held, so
+  // blocking reads inside the shared traversal are safe).
+  bool lock_floor_descent(Ctx& ctx, K k, NodeBase** out) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
+    if (!t.node->lock.try_upgrade(t.ver)) return false;
+    *out = t.node;
+    return true;
+  }
+
+  // Lateral no-wait walk from an already-locked chunk to the floor chunk
+  // for a later (larger) key. NEVER blocks: while holding locks, waiting on
+  // another thread's lock (even a read_begin spin) could deadlock two
+  // batches against each other, so any held word aborts the pass. Empty
+  // chunks (demoted or drained, awaiting an orphan merge) hold no floor
+  // candidate and are hopped over rather than aborted on: an empty chunk
+  // that no descent happens to cross would otherwise wedge every batch
+  // whose key span crosses it. When only empty chunks separate `from` from
+  // the first chunk with min > k, the floor is `from` itself, returned
+  // (still locked) in *out -- the caller must not re-push it.
+  bool lock_floor_from(Ctx& ctx, NodeBase* from, K k, NodeBase** out) {
+    // `best`: rightmost non-empty chunk seen with min <= k. It stays
+    // hazard-protected in slot 2 while the walk probes further; the final
+    // try_upgrade(best_ver) rejects any change since it was examined.
+    NodeBase* best = from;
+    Word best_ver = 0;
+    NodeBase* node = from->next.load(std::memory_order_acquire);
+    if (node == nullptr) {
+      *out = from;  // nothing right of from: it is the floor
+      return true;
+    }
+    int slot = 0;
+    ctx.protect(slot, node);  // linked: from's held lock pins it
+    Word ver = node->lock.load_relaxed();
+    if (Lock::is_locked(ver) || Lock::is_frozen(ver)) return false;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t sz = node_size(node);
+      if (sz > 0) {
+        if (k < node_min_key(node)) {
+          // Validate the basis for stopping before trusting it.
+          if (!node->lock.validate(ver)) return false;
+          break;
+        }
+        best = node;
+        best_ver = ver;
+        ctx.protect(2, node);
+        if (!node->lock.validate(ver)) return false;
+      }
+      NodeBase* next = node->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        // Validate before trusting "node is last AND its min > k or it
+        // is empty" -- an unvalidated read must not settle the floor.
+        if (!node->lock.validate(ver)) return false;
+        break;  // best (or from) is the floor
+      }
+      const int nslot = other_slot(slot);
+      ctx.protect(nslot, next);
+      // Covers the sz/min reads above and the next read: node unchanged,
+      // so next is node's real successor (never the retired sentinel).
+      if (!node->lock.validate(ver)) return false;
+      const Word nver = next->lock.load_relaxed();
+      if (Lock::is_locked(nver) || Lock::is_frozen(nver)) return false;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      ctx.drop(slot);
+      node = next;
+      ver = nver;
+      slot = nslot;
+    }
+    if (best == from) {
+      *out = from;
+      return true;
+    }
+    if (!best->lock.try_upgrade(best_ver)) return false;
+    *out = best;
+    return true;
+  }
+
+  // One no-wait locking pass of apply_batch. On success every staged op has
+  // been applied at a single commit version and all locks are released; on
+  // failure all locks are released and the caller backs off and retries
+  // (after demoting a towered remove key when need_demote is set).
+  bool try_apply_batch(Ctx& ctx, BatchOp* ops,
+                       const std::vector<std::uint32_t>& order,
+                       std::size_t& applied, std::int64_t& delta,
+                       bool& need_demote, K& demote_key) {
+    std::vector<NodeBase*> locked;
+    std::vector<std::uint32_t> chunk_of;  // staged op -> index into locked
+    auto abort_all = [&]() -> bool {
+      for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
+        (*it)->lock.release();
+      }
+      return false;
+    };
+    // Phase 1: growing -- lock the floor chunk of every key, ascending.
+    for (const std::uint32_t idx : order) {
+      const K k = ops[idx].key;
+      if (locked.empty() || !covers(locked.back(), k)) {
+        NodeBase* chunk = nullptr;
+        const bool ok = locked.empty()
+                            ? lock_floor_descent(ctx, k, &chunk)
+                            : lock_floor_from(ctx, locked.back(), k, &chunk);
+        if (!ok) return abort_all();
+        if (locked.empty() || chunk != locked.back()) {
+          locked.push_back(chunk);
+          // Verify floor-ness under the lock: a non-head floor chunk must
+          // hold a minimum <= k (otherwise a put would break the index
+          // entry's min invariant; transient states abort instead). When
+          // the lateral walk settled back on the already-locked chunk
+          // (only empty chunks up to the first min > k), it passed this
+          // for an earlier, smaller key, so min <= k holds a fortiori.
+          if (!chunk->is_head &&
+              (node_size(chunk) == 0 || k < node_min_key(chunk))) {
+            return abort_all();
+          }
+        }
+      }
+      NodeBase* chunk = locked.back();
+      if (ops[idx].kind == mvcc::BatchOpKind::kRemove && !chunk->is_head &&
+          !Lock::is_orphan(chunk->lock.load_relaxed()) &&
+          node_size(chunk) > 0 && node_min_key(chunk) == k) {
+        // k is the minimum of a non-orphan chunk: it may have a tower in
+        // the index layers, and erasing it here would dangle those
+        // entries. Demote outside the pass, then retry.
+        need_demote = true;
+        demote_key = k;
+        return abort_all();
+      }
+      chunk_of.push_back(static_cast<std::uint32_t>(locked.size() - 1));
+    }
+    // Phase 2: commit. All floor chunks are locked; reserve ONE commit
+    // version, then stage pre-images and apply per chunk. Speculative
+    // readers cannot validate against any touched chunk until its release,
+    // and versioned readers at v < c use the pre-images -- so the batch is
+    // atomic.
+    SV_FAULT_POINT(debug::Point::kBatchCommit);
+    const std::uint64_t c = version_reserve();
+    const bool preserve = snapshots_active();
+    std::size_t si = 0;
+    for (std::size_t ci = 0; ci < locked.size(); ++ci) {
+      // Collect this chunk's staged ops (contiguous in key order).
+      const std::size_t begin = si;
+      while (si < chunk_of.size() && chunk_of[si] == ci) ++si;
+      apply_chunk_ops(locked[ci], ops, order, begin, si, c, preserve, locked,
+                      applied, delta);
+    }
+    for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
+      (*it)->lock.release();
+    }
+    ctx.drop_all();
+    return true;
+  }
+
+  // Apply staged ops [begin, end) (ascending keys) to one locked chunk,
+  // splitting at capacity into locked orphan siblings that are appended to
+  // `locked` for the final release. Pieces' mod_version is stamped with the
+  // batch's commit version.
+  void apply_chunk_ops(NodeBase* chunk, BatchOp* ops,
+                       const std::vector<std::uint32_t>& order,
+                       std::size_t begin, std::size_t end, std::uint64_t c,
+                       bool preserve, std::vector<NodeBase*>& locked,
+                       std::size_t& applied, std::int64_t& delta) {
+    if (preserve) push_preimage(chunk);
+    std::vector<NodeBase*> pieces{chunk};
+    std::vector<K> mins{K{}};  // mins[0] unused (chunk covers leftward)
+    std::size_t pi = 0;
+    for (std::size_t s = begin; s < end; ++s) {
+      BatchOp& op = ops[order[s]];
+      while (pi + 1 < pieces.size() && !(op.key < mins[pi + 1])) ++pi;
+      auto* p = as_data(pieces[pi]);
+      if (op.kind == mvcc::BatchOpKind::kRemove) {
+        op.applied = p->vec.erase(op.key);
+        if (op.applied) {
+          ++applied;
+          --delta;
+        }
+        continue;
+      }
+      if (p->vec.assign(op.key, op.value)) {
+        op.applied = false;  // overwrite: present before and after
+        continue;
+      }
+      if (p->vec.full()) {
+        // Capacity split under our lock: the sibling is born locked (it is
+        // mutated until the batch commits) and orphan (no parent entry).
+        auto* sib = alloc_node<DataNode, V>(p->capacity, nullptr, 0,
+                                            /*head=*/false, /*orphan=*/true);
+        sib->lock.acquire();  // fresh node: uncontended
+        capacity_splits_.fetch_add(1, std::memory_order_relaxed);
+        stats::count(stats::Counter::kCapacitySplits);
+        const K sib_min = p->vec.split_half(sib->vec);
+        if (preserve) fold_split(p, sib, sib_min);
+        sib->next.store(p->next.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        SV_FAULT_POINT(debug::Point::kSplit);
+        p->next.store(sib, std::memory_order_release);
+        locked.push_back(sib);
+        pieces.insert(pieces.begin() + static_cast<std::ptrdiff_t>(pi) + 1,
+                      sib);
+        mins.insert(mins.begin() + static_cast<std::ptrdiff_t>(pi) + 1,
+                    sib_min);
+        if (!(op.key < sib_min)) {
+          ++pi;
+          p = sib;
+        }
+      }
+      const bool ok = p->vec.insert(op.key, op.value);
+      assert(ok);
+      (void)ok;
+      op.applied = true;
+      ++applied;
+      ++delta;
+    }
+    for (NodeBase* piece : pieces) {
+      piece->mod_version.store(c, std::memory_order_release);
+    }
+  }
+
+  // Demote key k's tower: erase k from every index layer and orphan the
+  // chunks below -- try_remove's index path minus the final data-layer
+  // erase, so k itself stays present. Benign structurally: lookups descend
+  // to k's chunk through the left neighbor's entry and find k by the
+  // rightward walk. Called with no chunk locks held.
+  void demote_tower(Ctx& ctx, K k) {
+    sync::Backoff backoff;
+    for (;;) {
+      if (try_demote_tower(ctx, k)) return;
+      ctx.drop_all();
+      stats::count(stats::Counter::kOpRestarts);
+      backoff.pause();
+    }
+  }
+
+  bool try_demote_tower(Ctx& ctx, K k) {
+    Trav t = begin_traversal(ctx);
+    while (t.node->layer > 0) {
+      if (!traverse_right(ctx, t, k, /*mutator=*/true)) return false;
+      NodeBase* down = nullptr;
+      bool exact = false;
+      if (!index_down(t, k, &down, &exact)) return false;
+      if (exact) {
+        if (!t.node->is_head && !Lock::is_orphan(t.ver) &&
+            node_min_key(t.node) == k) {
+          return false;  // k should also exist a layer up: racing insert
+        }
+        if (!t.node->lock.try_upgrade(t.ver)) return false;
+        NodeBase* curr = t.node;
+        while (curr->layer > 0) {
+          NodeBase* below = nullptr;
+          const bool erased = as_index(curr)->vec.erase(k, &below);
+          if (!erased || below == nullptr) {
+            curr->lock.release();
+            return false;  // defensive: invariant says unreachable
+          }
+          below->lock.acquire();
+          below->lock.set_orphan_locked(true);
+          curr->lock.release();
+          curr = below;
+        }
+        curr->lock.release();  // data chunk: k stays in place
+        ctx.drop_all();
+        return true;
+      }
+      if (!exchange_down(ctx, t, down)) return false;
+    }
+    ctx.drop_all();  // k is in no index layer: nothing to demote
     return true;
   }
 
@@ -1703,6 +2666,12 @@ class SkipVectorMap {
   mutable std::atomic<std::uint64_t> capacity_splits_{0};
   mutable std::atomic<std::uint64_t> tower_splits_{0};
   mutable stats::Registry stats_;
+
+  // Multiversioning (docs/SNAPSHOTS.md): the global commit version every
+  // committed mutation bumps, and the registry of pinned snapshot versions
+  // writers consult before discarding pre-images.
+  std::atomic<std::uint64_t> commit_version_{0};
+  mvcc::SnapshotRegistry snaps_;
 };
 
 // Convenience aliases matching the paper's evaluated variants.

@@ -7,6 +7,12 @@
 // attributed to whichever map's stats::Scope is active when end_op() runs --
 // for this alias that is always the owning SkipVectorMap, since each
 // instance has a private EpochDomain.
+//
+// Snapshot note (docs/SNAPSHOTS.md): the multiversioned snapshot and
+// apply_batch API is reclaimer-independent, so these aliases inherit it
+// unchanged. Version-chain records are freed directly under chunk locks or
+// with the owning node (never through the epoch domain), so no extra
+// retire traffic is attributed here.
 #pragma once
 
 #include "core/skip_vector.h"

@@ -43,6 +43,13 @@ enum class Point : std::uint8_t {
                     // runs without exclusive reservation (racing writers)
   kMutEarlyRelease, // try_remove: seqlock released BEFORE the erase; readers
                     // can validate against a torn chunk
+  // Appended after the mutation block to keep existing numbering stable
+  // (the enum is append-only; is_mutation_point is an explicit list, so
+  // position does not matter).
+  kBatchCommit,     // apply_batch: all chunk locks held, about to reserve the
+                    // commit version and apply staged ops
+  kVersionFold,     // split/merge: version chains about to be folded across
+                    // the new chunk boundary (locks held)
   kCount
 };
 
@@ -59,6 +66,8 @@ inline const char* point_name(Point p) noexcept {
     case Point::kMutDropMerge: return "mut-drop-merge";
     case Point::kMutSkipFreeze: return "mut-skip-freeze";
     case Point::kMutEarlyRelease: return "mut-early-release";
+    case Point::kBatchCommit: return "batch-commit";
+    case Point::kVersionFold: return "version-fold";
     default: return "?";
   }
 }

@@ -96,6 +96,20 @@ enum class Counter : std::uint32_t {
   kSlabAllocs,  // slabs carved from pool arenas
   kLiveBytes,   // net gauge: +bytes on alloc, two's-complement on free
 
+  // Multiversioning (snapshots + atomic batches; docs/SNAPSHOTS.md).
+  kSnapshotScans,         // range_for_each_at / snapshot() scans started
+  kSnapshotChunksLive,    // chunks resolved from live state (mod <= v)
+  kSnapshotChunksChain,   // chunks resolved from a version-chain record
+  kSnapshotChunkRetries,  // per-chunk re-reads (validate fail / next moved)
+  kSnapshotScanRestarts,  // full scan-phase restarts (invariant: stays 0)
+  kVersionRecords,        // version-chain records created
+  kVersionRecordsFreed,   // version-chain records pruned/freed
+  kPreimagesSkipped,      // pre-image pushes proven unneeded (no pin >= m)
+  kVersionFolds,          // chains folded at a split/merge boundary
+  kBatchCommits,          // apply_batch committed atomically
+  kBatchAborts,           // apply_batch lock-acquisition passes aborted
+  kBatchKeys,             // ops applied by committed batches
+
   kCount
 };
 
@@ -135,6 +149,18 @@ inline constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "pool_misses",
     "slab_allocs",
     "live_bytes",
+    "snapshot_scans",
+    "snapshot_chunks_live",
+    "snapshot_chunks_chain",
+    "snapshot_chunk_retries",
+    "snapshot_scan_restarts",
+    "version_records",
+    "version_records_freed",
+    "preimages_skipped",
+    "version_folds",
+    "batch_commits",
+    "batch_aborts",
+    "batch_keys",
 };
 
 inline constexpr std::string_view counter_name(Counter c) noexcept {

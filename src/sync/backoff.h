@@ -1,6 +1,7 @@
 // Truncated exponential backoff for restart loops.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/hw.h"
@@ -10,12 +11,18 @@ namespace sv::sync {
 class Backoff {
  public:
   explicit Backoff(std::uint32_t max_spins = 1024) noexcept
-      : limit_(1), max_(max_spins) {}
+      : limit_(1), max_(max_spins == 0 ? 1 : max_spins) {}
 
   void pause() noexcept {
     for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
-    if (limit_ < max_) limit_ <<= 1;
+    // Truncated doubling: never spin past max_, even when max_spins is not
+    // a power of two, and never wrap for max_spins > 2^31.
+    if (limit_ < max_) {
+      limit_ = (limit_ > max_ / 2) ? max_ : std::min(limit_ << 1, max_);
+    }
   }
+
+  std::uint32_t current_limit() const noexcept { return limit_; }
 
   void reset() noexcept { limit_ = 1; }
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "benchutil/histogram.h"
@@ -160,6 +162,158 @@ TEST(Serialization, EmptyMapRoundTrip) {
   EXPECT_EQ(restored.size_approx(), 0u);
   std::string err;
   EXPECT_TRUE(restored.validate(&err)) << err;
+}
+
+TEST(Serialization, LoadRejectsOversizedCount) {
+  // A corrupt header claiming 2^40 elements in a near-empty stream must be
+  // rejected BEFORE any proportional allocation (the old format trusted the
+  // count and fed it straight to vector::reserve).
+  SeqMap src(Tiny());
+  src.insert(1, 2);
+  std::stringstream buf;
+  src.save(buf);
+  std::string bytes = buf.str();
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  std::memcpy(bytes.data() + sizeof(std::uint64_t) + sizeof(std::uint16_t),
+              &huge, sizeof(huge));
+  std::stringstream corrupt(bytes);
+  SeqMap dst(Tiny());
+  EXPECT_THROW(dst.load(corrupt), std::runtime_error);
+}
+
+TEST(Serialization, LoadRejectsForeignEndianness) {
+  SeqMap src(Tiny());
+  src.insert(1, 2);
+  std::stringstream buf;
+  src.save(buf);
+  std::string bytes = buf.str();
+  // Byte-swap the endianness marker: the file now reads as if saved on a
+  // foreign-endian host. The old format accepted it and produced garbled
+  // keys; the new one must reject it cleanly.
+  std::swap(bytes[sizeof(std::uint64_t)], bytes[sizeof(std::uint64_t) + 1]);
+  std::stringstream swapped(bytes);
+  SeqMap dst(Tiny());
+  EXPECT_THROW(dst.load(swapped), std::runtime_error);
+}
+
+// ---- Snapshots and batches (sequential semantics) ---------------------------
+
+TEST(SnapshotAt, PinnedVersionIgnoresLaterWrites) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(m.insert(k, k));
+  auto view = m.snapshot_at();
+  ASSERT_TRUE(view.versioned());
+  // Mutate heavily after the pin: overwrites, removes, inserts, splits.
+  for (std::uint64_t k = 0; k < 64; ++k) m.update(k, k + 1000);
+  for (std::uint64_t k = 0; k < 64; k += 2) m.remove(k);
+  for (std::uint64_t k = 100; k < 200; ++k) m.insert(k, k);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+  m.range_for_each_at(view, 0, 500,
+                      [&](std::uint64_t k, std::uint64_t v) {
+                        got.emplace_back(k, v);
+                      });
+  ASSERT_EQ(got.size(), 64u);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(got[k].first, k);
+    EXPECT_EQ(got[k].second, k);  // pre-update value
+  }
+  // A fresh snapshot sees the current state.
+  auto now = m.snapshot(0, 500);
+  EXPECT_EQ(now.size(), 32u + 100u);
+}
+
+TEST(SnapshotAt, ViewsAtDifferentVersionsCoexist) {
+  SeqMap m(Tiny());
+  ASSERT_TRUE(m.insert(1, 10));
+  auto v1 = m.snapshot_at();
+  ASSERT_TRUE(m.insert(2, 20));
+  auto v2 = m.snapshot_at();
+  ASSERT_TRUE(m.remove(1));
+  std::size_t n1 = m.range_for_each_at(v1, 0, 100,
+                                       [](std::uint64_t, std::uint64_t) {});
+  std::size_t n2 = m.range_for_each_at(v2, 0, 100,
+                                       [](std::uint64_t, std::uint64_t) {});
+  EXPECT_EQ(n1, 1u);
+  EXPECT_EQ(n2, 2u);
+  EXPECT_EQ(m.snapshot(0, 100).size(), 1u);
+}
+
+TEST(ApplyBatch, MixedPutsAndRemoves) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(m.insert(k, k));
+  using Op = SeqMap::BatchOp;
+  std::vector<Op> ops = {
+      Op::put(3, 333),    // overwrite: applied == false
+      Op::put(50, 500),   // new key: applied == true
+      Op::remove(4),      // present: applied == true
+      Op::remove(99),     // absent: applied == false
+  };
+  EXPECT_EQ(m.apply_batch(ops), 2u);
+  EXPECT_FALSE(ops[0].applied);
+  EXPECT_TRUE(ops[1].applied);
+  EXPECT_TRUE(ops[2].applied);
+  EXPECT_FALSE(ops[3].applied);
+  EXPECT_EQ(m.lookup(3).value(), 333u);
+  EXPECT_EQ(m.lookup(50).value(), 500u);
+  EXPECT_FALSE(m.lookup(4).has_value());
+  EXPECT_EQ(m.size_approx(), 10u);  // +1 -1
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(ApplyBatch, LargeBatchSplitsAndToweredRemoves) {
+  SeqMap m(Tiny());
+  // Grow a multi-layer structure so batch keys cross many chunks and some
+  // removes hit towered keys (index-layer demotion path).
+  for (std::uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(m.insert(k, k));
+  using Op = SeqMap::BatchOp;
+  std::vector<Op> ops;
+  for (std::uint64_t k = 0; k < 500; k += 3) ops.push_back(Op::remove(k));
+  for (std::uint64_t k = 1000; k < 1200; ++k) ops.push_back(Op::put(k, k));
+  const std::size_t applied = m.apply_batch(ops);
+  EXPECT_EQ(applied, 167u + 200u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(m.lookup(k).has_value(), k % 3 != 0) << k;
+  }
+  for (std::uint64_t k = 1000; k < 1200; ++k) {
+    EXPECT_EQ(m.lookup(k).value(), k);
+  }
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(ApplyBatch, SameKeyOpsApplyInSubmissionOrder) {
+  SeqMap m(Tiny());
+  using Op = SeqMap::BatchOp;
+  std::vector<Op> ops = {Op::put(7, 70), Op::remove(7), Op::put(7, 71)};
+  m.apply_batch(ops);
+  EXPECT_EQ(m.lookup(7).value(), 71u);
+  std::vector<Op> ops2 = {Op::put(7, 72), Op::remove(7)};
+  m.apply_batch(ops2);
+  EXPECT_FALSE(m.lookup(7).has_value());
+  std::string err;
+  ASSERT_TRUE(m.validate(&err)) << err;
+}
+
+TEST(ApplyBatch, SnapshotNeverSeesPartialBatch) {
+  SeqMap m(Tiny());
+  for (std::uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(m.insert(k, 1));
+  auto before = m.snapshot_at();
+  using Op = SeqMap::BatchOp;
+  std::vector<Op> ops;
+  for (std::uint64_t k = 0; k < 100; ++k) ops.push_back(Op::put(k, 2));
+  m.apply_batch(ops);
+  // The pre-batch view sees every old value; the live map every new one.
+  std::size_t old_vals = 0;
+  m.range_for_each_at(before, 0, 200, [&](std::uint64_t, std::uint64_t v) {
+    old_vals += v == 1 ? 1 : 0;
+  });
+  EXPECT_EQ(old_vals, 100u);
+  std::size_t new_vals = 0;
+  m.range_for_each(0, 200, [&](std::uint64_t, std::uint64_t v) {
+    new_vals += v == 2 ? 1 : 0;
+  });
+  EXPECT_EQ(new_vals, 100u);
 }
 
 }  // namespace

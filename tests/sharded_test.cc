@@ -237,5 +237,131 @@ TEST(Sharded, ConcurrentCrossShardRanges) {
   EXPECT_TRUE(m.validate());
 }
 
+// Sequential oracle for cross-shard batches: routing, `applied` write-back
+// through the shard partition (which reorders ops by shard), and the
+// returned presence-change count.
+TEST(Sharded, CrossShardBatchOracle) {
+  constexpr std::uint64_t kSpace = 512;
+  using M = ShardedSkipVector<std::uint64_t, std::uint64_t>;
+  M m(kSpace, 4, Tiny());
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(21);
+  for (int round = 0; round < 4000; ++round) {
+    std::vector<M::BatchOp> batch;
+    std::vector<std::uint64_t> used;
+    const std::uint64_t nops = 2 + rng.next_below(5);
+    for (std::uint64_t i = 0; i < nops; ++i) {
+      // Distinct keys, spread so most batches straddle shard boundaries.
+      std::uint64_t k;
+      do {
+        k = rng.next_below(kSpace);
+      } while (std::find(used.begin(), used.end(), k) != used.end());
+      used.push_back(k);
+      if (rng.next_below(3) == 0) {
+        batch.push_back(M::BatchOp::remove(k));
+      } else {
+        batch.push_back(M::BatchOp::put(k, rng.next()));
+      }
+    }
+    std::size_t expect_applied = 0;
+    std::vector<bool> expect_flag;
+    for (const auto& op : batch) {
+      const bool present = oracle.count(op.key) > 0;
+      bool applied;
+      if (op.kind == mvcc::BatchOpKind::kPut) {
+        applied = !present;
+        oracle[op.key] = op.value;
+      } else {
+        applied = present;
+        oracle.erase(op.key);
+      }
+      expect_flag.push_back(applied);
+      expect_applied += applied ? 1 : 0;
+    }
+    ASSERT_EQ(m.apply_batch(batch), expect_applied) << round;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i].applied, expect_flag[i]) << round << ":" << i;
+    }
+  }
+  for (const auto& [k, v] : oracle) {
+    auto got = m.lookup(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    ASSERT_EQ(*got, v) << k;
+  }
+  EXPECT_EQ(m.size_approx(), oracle.size());
+  EXPECT_TRUE(m.validate());
+}
+
+// Cross-shard batch atomicity against cross-shard snapshots: a writer
+// stamps every anchor (one per shard and then some) with a generation in
+// ONE batch; snapshot(0, kSpace-1) spans all shards, so the gate 2PL must
+// make each batch all-or-nothing even across shard boundaries. Point-op
+// noise on non-anchor keys runs ungated throughout.
+TEST(Sharded, CrossShardBatchesAtomicUnderSnapshots) {
+  constexpr std::uint64_t kSpace = 512;
+  constexpr std::uint64_t kAnchorStride = 32;  // 16 anchors over 8 shards
+  using M = ShardedSkipVector<std::uint64_t, std::uint64_t>;
+  M m(kSpace, 8, Tiny());
+  for (std::uint64_t a = 0; a < kSpace; a += kAnchorStride) {
+    ASSERT_TRUE(m.insert(a, 1));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> gens{1};
+  std::thread batcher([&] {
+    std::uint64_t gen = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++gen;
+      std::vector<M::BatchOp> batch;
+      for (std::uint64_t a = 0; a < kSpace; a += kAnchorStride) {
+        batch.push_back(M::BatchOp::put(a, gen));
+      }
+      m.apply_batch(batch);
+      gens.store(gen, std::memory_order_relaxed);
+    }
+  });
+  std::thread noise([&] {
+    Xoshiro256 rng(77);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t k = rng.next_below(kSpace);
+      if (k % kAnchorStride == 0) continue;
+      if (rng.next_below(2) == 0) {
+        m.insert(k, k);
+      } else {
+        m.remove(k);
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = m.snapshot(0, kSpace - 1);
+        std::uint64_t lo_gen = ~0ull, hi_gen = 0, anchors = 0;
+        for (const auto& [k, v] : snap) {
+          if (k % kAnchorStride != 0) continue;
+          ++anchors;
+          lo_gen = v < lo_gen ? v : lo_gen;
+          hi_gen = v > hi_gen ? v : hi_gen;
+        }
+        // All anchors present, all at one generation: a batch observed
+        // half-applied across shards shows two generations (or a gap).
+        if (anchors != kSpace / kAnchorStride || lo_gen != hi_gen) {
+          torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+  stop.store(true);
+  batcher.join();
+  noise.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(gens.load(), 1u);
+  EXPECT_TRUE(m.validate());
+}
+
 }  // namespace
 }  // namespace sv::core

@@ -14,6 +14,7 @@
 #include "benchutil/options.h"
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "sync/backoff.h"
 
 namespace sv {
 namespace {
@@ -239,6 +240,45 @@ TEST(Driver, MixRunsAndCounts) {
   // Mix ratios approximately honored.
   const double lf = static_cast<double>(r.lookups) / r.ops;
   EXPECT_NEAR(lf, 0.8, 0.05);
+}
+
+// ---- Backoff ------------------------------------------------------------------
+
+TEST(Backoff, TruncatesAtNonPowerOfTwoMax) {
+  // Regression: the previous doubling overshot a non-power-of-two cap (1 ->
+  // 2 -> ... -> 1024 for max_spins = 1000), spinning past the configured
+  // bound. The limit must grow monotonically and clamp exactly at max.
+  sync::Backoff b(1000);
+  std::uint32_t prev = 0;
+  for (int i = 0; i < 40; ++i) {
+    b.pause();
+    EXPECT_LE(b.current_limit(), 1000u);
+    EXPECT_GE(b.current_limit(), prev);
+    prev = b.current_limit();
+  }
+  EXPECT_EQ(b.current_limit(), 1000u);  // reaches, never exceeds
+}
+
+TEST(Backoff, NoWrapNearUint32Max) {
+  // max_spins > 2^31: naive limit << 1 would wrap to 0 and spin forever at
+  // limit 0 / restart the ramp. The clamp must go straight to max.
+  sync::Backoff b(0xffffffffu);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t before = b.current_limit();
+    // Don't actually spin 4 billion times: stop growing checks once large.
+    if (before > (1u << 20)) break;
+    b.pause();
+    EXPECT_GT(b.current_limit(), before);
+  }
+}
+
+TEST(Backoff, ZeroMaxIsUsable) {
+  sync::Backoff b(0);  // degenerate configuration: clamped to 1 spin
+  b.pause();
+  b.pause();
+  EXPECT_EQ(b.current_limit(), 1u);
+  b.reset();
+  EXPECT_EQ(b.current_limit(), 1u);
 }
 
 }  // namespace

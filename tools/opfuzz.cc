@@ -218,7 +218,7 @@ void lincheck_worker(LinMap& map, const LincheckParams& p, std::uint64_t seed,
     const std::uint64_t k = 1 + rng.next_below(p.keys);
     const std::uint64_t v =
         (tid << 48) | (window_index << 32) | (seq++ & 0xffffffffu);
-    switch (rng.next_below(10)) {
+    switch (rng.next_below(12)) {
       case 0:
       case 1:
       case 2:
@@ -235,6 +235,33 @@ void lincheck_worker(LinMap& map, const LincheckParams& p, std::uint64_t seed,
       case 7: {
         const std::uint64_t hi = k + rng.next_below(16);
         map.range_for_each(k, hi, [](std::uint64_t, std::uint64_t) {});
+        break;
+      }
+      case 8: {
+        // Atomic batch: 2-4 ops over distinct keys, mixed puts/removes.
+        // Every key of a committed batch is recorded with the batch's
+        // interval, so the checker demands one point where all the
+        // recorded per-key transitions are simultaneously legal.
+        using BatchOp = sv::core::mvcc::BatchOp<std::uint64_t, std::uint64_t>;
+        std::vector<BatchOp> batch;
+        const std::uint64_t nops = 2 + rng.next_below(3);
+        for (std::uint64_t b = 0; b < nops; ++b) {
+          const std::uint64_t bk = 1 + rng.next_below(p.keys);
+          const std::uint64_t bv =
+              (tid << 48) | (window_index << 32) | (seq++ & 0xffffffffu);
+          if (rng.next_below(3) == 0) {
+            batch.push_back(BatchOp::remove(bk));
+          } else {
+            batch.push_back(BatchOp::put(bk, bv));
+          }
+        }
+        map.apply_batch(batch);
+        break;
+      }
+      case 9: {
+        // Versioned snapshot scan (wait-free against writers).
+        const std::uint64_t hi = k + rng.next_below(16);
+        map.snapshot_range(k, hi, [](std::uint64_t, std::uint64_t) {});
         break;
       }
       default:
