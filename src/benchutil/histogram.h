@@ -2,6 +2,15 @@
 // with linear sub-buckets): constant-time record, fixed memory, percentile
 // queries. Used by bench/latency_percentiles to check the paper's
 // "predictability and low latency" conclusion with tail data.
+//
+// Threading invariant: counts are PLAIN (non-atomic) fields. An instance is
+// single-writer -- each worker records into its own thread-local histogram,
+// and merge()/percentile()/summary() may only run after the writer has been
+// joined (or otherwise handed the instance off with a happens-before edge,
+// e.g. a release-store the reader acquires). Recording into one instance
+// from two threads, or reading while a detached writer may still record, is
+// a data race -- don't "fix" a flaky teardown by sprinkling reads with
+// retries; establish the join/handoff first.
 #pragma once
 
 #include <array>

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -25,6 +26,14 @@ struct Config {
 
   // Seed for the per-thread height generators.
   std::uint64_t seed = 0xC0FFEE;
+
+  // Slot count for the optional hash sidecar (docs/HASH_INDEX.md); rounded
+  // up to a power of two by the table, 0 selects the policy default
+  // (64Ki slots = 512 KiB). Inert unless the map is instantiated with
+  // HashIndex = hashidx::HashChunkIndex. Sized like a cache: ~2x the
+  // expected live keys keeps the hit rate high; an undersized table
+  // degrades hit rate (slot stealing), never correctness.
+  std::size_t hash_index_slots = 0;
 
   static constexpr std::uint32_t kMaxLayers = 32;
 
@@ -76,6 +85,12 @@ struct Config {
     c.target_index_vector_size = t_index;
     c.target_data_vector_size = t_data;
     c.layer_count = layers_for(n, t_index, t_data);
+    // Size the (optional) hash sidecar at ~2x the expected live keys,
+    // capped at 4Mi slots (32 MiB); beyond the cap hit rate degrades
+    // gracefully via slot stealing.
+    std::size_t slots = 1024;
+    while (slots < 2 * n && slots < (std::size_t{1} << 22)) slots <<= 1;
+    c.hash_index_slots = slots;
     return c;
   }
 

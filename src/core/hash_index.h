@@ -1,0 +1,278 @@
+// Hash sidecar for SkipVectorMap point operations (ROADMAP open item #1,
+// Skip Hash direction -- arXiv:2410.07466).
+//
+// The sidecar is a fixed-capacity open-addressing *hint cache* mapping key ->
+// data-chunk pointer. Point operations probe it before descending the tower:
+// a correct hint turns the O(log n) descent into one protected chunk read; a
+// wrong or missing hint costs one wasted probe and falls back to the normal
+// descent. The table is advisory by construction -- it can never be used to
+// conclude a key is ABSENT, only to propose a candidate chunk whose contents
+// are then read under the chunk's sequence lock -- so a stale entry is a
+// performance bug at worst, never a correctness bug.
+//
+// Entry format: one std::atomic<uint64_t> packing a 16-bit key fingerprint
+// (bits 63..48, from an independent mix of the key) over a 48-bit data-chunk
+// pointer (bits 47..0; x86-64/AArch64 user-space pointers fit). Packing both
+// halves into a single word makes entries untearable: an entry always pairs
+// THE fingerprint that was published with THE pointer it was published for,
+// which the invalidation protocol below depends on. Zero means empty.
+//
+// Buckets are 8 entries = one 64-byte cache line; a probe touches exactly one
+// line. The table never resizes and never tombstones: collisions beyond the
+// bucket steal a pseudo-random victim slot. Lost entries are repaired lazily
+// by the map's lookup-repair path.
+//
+// Safety protocol (docs/HASH_INDEX.md has the full memory-model argument):
+//
+//   PUBLISH  put()/repoint() store a chunk pointer only while the caller
+//            holds a lock that pins the chunk into the structure (the
+//            chunk's own write lock, or its left neighbor's -- merging a
+//            chunk requires upgrading both). Keys published are keys present
+//            in the chunk at publish time.
+//   FIX      Every site where a key leaves a chunk (erase, batch remove,
+//            split steal, merge drain) fixes the key's entry under the same
+//            locks: erase() it or repoint() it to the key's new chunk.
+//            Consequently every table entry pointing at chunk C carries the
+//            fingerprint of a key currently in C.
+//   INVALIDATE  Before a merged-away chunk is retired, the merging thread
+//            repoints every entry for the victim's keys (enumerated BEFORE
+//            the drain) to the surviving left chunk. By FIX, that clears
+//            every entry pointing at the victim; retire() is called only
+//            after.
+//   PROBE    Readers load an entry, hazard-protect the pointer, then re-load
+//            and demand the identical word (reconfirm). Seeing the entry
+//            again after the protect proves INVALIDATE had not completed,
+//            hence retire() had not been called, hence the hazard scan's
+//            seq_cst fence pairs with the protect fence and the chunk cannot
+//            be freed while protected. Under epoch reclamation the re-read
+//            is redundant (the op's epoch pin already blocks the free) but
+//            harmless. The chunk is then read under its sequence lock and
+//            the result only trusted if validate() passes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace sv::core::hashidx {
+
+// Default policy: no sidecar. Zero-size table, all operations compile to
+// nothing; SkipVectorMap guards every call site with
+// `if constexpr (HashIndex::kEnabled)` so the disabled configuration is
+// byte-for-byte the pre-sidecar map.
+struct NoIndex {
+  static constexpr bool kEnabled = false;
+
+  template <class K>
+  struct Table {
+    explicit Table(std::size_t /*slots*/) noexcept {}
+    void* get(K) const noexcept { return nullptr; }
+    bool reconfirm(K, void*) const noexcept { return false; }
+    void put(K, void*) noexcept {}
+    void erase(K, void*) noexcept {}
+    void repoint(K, void*, void*) noexcept {}
+    void drop(K, void*) noexcept {}
+    void reset() noexcept {}
+    std::size_t slot_count() const noexcept { return 0; }
+  };
+};
+
+// Enabled policy: the open-addressing hint cache described above.
+struct HashChunkIndex {
+  static constexpr bool kEnabled = true;
+
+  template <class K>
+  class Table {
+    static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                  "HashChunkIndex requires an integral or enum key type");
+    static_assert(sizeof(K) <= 8,
+                  "HashChunkIndex requires keys of at most 8 bytes");
+    static_assert(sizeof(void*) == 8,
+                  "HashChunkIndex packs 48-bit pointers; 64-bit only");
+
+   public:
+    // `slots` is rounded up to a power of two and a floor of one bucket.
+    // 0 selects the default (64Ki slots = 512 KiB).
+    explicit Table(std::size_t slots) {
+      if (slots == 0) slots = kDefaultSlots;
+      std::size_t buckets = 1;
+      while (buckets * kWays < slots && buckets < (std::size_t{1} << 40)) {
+        buckets <<= 1;
+      }
+      bucket_mask_ = buckets - 1;
+      buckets_ = std::make_unique<Bucket[]>(buckets);
+    }
+
+    // Candidate chunk for k, or nullptr. Advisory: absence concludes
+    // nothing, and the pointer must not be dereferenced until protected and
+    // reconfirmed.
+    void* get(K k) const noexcept {
+      const std::uint64_t h = mix(key_bits(k));
+      const Bucket& b = buckets_[h & bucket_mask_];
+      const std::uint64_t fp = fingerprint(h);
+      for (std::size_t i = 0; i < kWays; ++i) {
+        const std::uint64_t e = b.w[i].load(std::memory_order_acquire);
+        if (e != 0 && (e & kFpMask) == fp) {
+          return reinterpret_cast<void*>(e & kPtrMask);
+        }
+      }
+      return nullptr;
+    }
+
+    // True iff the exact entry (fingerprint(k), p) is present NOW. Called
+    // after hazard-protecting p; see PROBE above.
+    bool reconfirm(K k, void* p) const noexcept {
+      const std::uint64_t h = mix(key_bits(k));
+      const Bucket& b = buckets_[h & bucket_mask_];
+      const std::uint64_t want =
+          fingerprint(h) | reinterpret_cast<std::uintptr_t>(p);
+      for (std::size_t i = 0; i < kWays; ++i) {
+        if (b.w[i].load(std::memory_order_acquire) == want) return true;
+      }
+      return false;
+    }
+
+    // Publish k -> chunk. Caller must hold a lock pinning `chunk` (see
+    // PUBLISH above). Prefers the slot already carrying k's fingerprint,
+    // then the first empty slot, then steals a deterministic victim.
+    //
+    // The store-then-sweep shape and the seq_cst ordering are load-bearing:
+    // the FIX/INVALIDATE protocol can only find an entry by its exact
+    // (fingerprint, pointer) word, so a fingerprint must never end up with
+    // two live entries carrying different pointers -- the loser would
+    // dangle past its chunk's retirement. Each put stores its word, then
+    // clears every OTHER same-fingerprint slot. Two racing puts of
+    // colliding keys are ordered by the seq_cst total order: the later
+    // store's sweep observes the earlier store, so at most one
+    // same-fingerprint entry survives both sweeps (possibly zero -- a lost
+    // hint is safe).
+    void put(K k, void* chunk) noexcept {
+      const std::uintptr_t raw = reinterpret_cast<std::uintptr_t>(chunk);
+      if (raw == 0 || (raw & kFpMask) != 0) return;  // unpackable: skip
+      const std::uint64_t h = mix(key_bits(k));
+      Bucket& b = buckets_[h & bucket_mask_];
+      const std::uint64_t fp = fingerprint(h);
+      const std::uint64_t word = fp | raw;
+      std::size_t chosen = kWays;
+      std::size_t empty = kWays;
+      for (std::size_t i = 0; i < kWays; ++i) {
+        const std::uint64_t e = b.w[i].load(std::memory_order_seq_cst);
+        if (e != 0 && (e & kFpMask) == fp) {
+          chosen = i;
+          break;
+        }
+        if (e == 0 && empty == kWays) empty = i;
+      }
+      if (chosen == kWays) chosen = empty != kWays ? empty : victim_way(h);
+      b.w[chosen].store(word, std::memory_order_seq_cst);
+      for (std::size_t i = 0; i < kWays; ++i) {
+        if (i == chosen) continue;
+        std::uint64_t e = b.w[i].load(std::memory_order_seq_cst);
+        if (e != 0 && (e & kFpMask) == fp) {
+          b.w[i].compare_exchange_strong(e, 0, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // Clear any entry (fingerprint(k), chunk). Caller holds the chunk's
+    // lock (FIX sites) -- so no concurrent put() can re-publish this exact
+    // word, and a failed CAS means the entry already stopped pointing at
+    // `chunk`.
+    void erase(K k, void* chunk) noexcept {
+      const std::uint64_t h = mix(key_bits(k));
+      Bucket& b = buckets_[h & bucket_mask_];
+      const std::uint64_t want =
+          fingerprint(h) | reinterpret_cast<std::uintptr_t>(chunk);
+      for (std::size_t i = 0; i < kWays; ++i) {
+        std::uint64_t e = b.w[i].load(std::memory_order_relaxed);
+        if (e == want) {
+          b.w[i].compare_exchange_strong(e, 0, std::memory_order_release,
+                                         std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // Swing any entry (fingerprint(k), from) to (fingerprint(k), to).
+    // Caller holds both chunks' locks (merge) or `from`'s lock with `to`
+    // linked and pinned (split). Same CAS reasoning as erase().
+    void repoint(K k, void* from, void* to) noexcept {
+      const std::uintptr_t to_raw = reinterpret_cast<std::uintptr_t>(to);
+      const std::uint64_t h = mix(key_bits(k));
+      Bucket& b = buckets_[h & bucket_mask_];
+      const std::uint64_t fp = fingerprint(h);
+      const std::uint64_t want =
+          fp | reinterpret_cast<std::uintptr_t>(from);
+      if (to_raw == 0 || (to_raw & kFpMask) != 0) return erase(k, from);
+      const std::uint64_t next = fp | to_raw;
+      for (std::size_t i = 0; i < kWays; ++i) {
+        std::uint64_t e = b.w[i].load(std::memory_order_relaxed);
+        if (e == want) {
+          b.w[i].compare_exchange_strong(e, next, std::memory_order_release,
+                                         std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // Best-effort unlocked clear of an observed entry: used when a full
+    // descent proved k absent but the table proposed (fp(k), p). Removing
+    // entries is always safe; a racing legitimate put() either wins the CAS
+    // race (entry survives) or republishes afterwards.
+    void drop(K k, void* p) noexcept { erase(k, p); }
+
+    // Quiescent only (clear()): concurrent probes would see freed chunks.
+    void reset() noexcept {
+      for (std::size_t i = 0; i <= bucket_mask_; ++i) {
+        for (std::size_t w = 0; w < kWays; ++w) {
+          buckets_[i].w[w].store(0, std::memory_order_relaxed);
+        }
+      }
+      std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    std::size_t slot_count() const noexcept {
+      return (bucket_mask_ + 1) * kWays;
+    }
+
+   private:
+    static constexpr std::size_t kWays = 8;  // one 64 B line per bucket
+    static constexpr std::size_t kDefaultSlots = std::size_t{1} << 16;
+    static constexpr std::uint64_t kFpMask = 0xFFFF000000000000ULL;
+    static constexpr std::uint64_t kPtrMask = ~kFpMask;
+
+    struct alignas(64) Bucket {
+      std::atomic<std::uint64_t> w[kWays] = {};
+    };
+
+    static std::uint64_t key_bits(K k) noexcept {
+      return static_cast<std::uint64_t>(k);
+    }
+
+    // splitmix64 finalizer: bucket index from the low bits, fingerprint and
+    // victim way from independent high bits of the same mix.
+    static std::uint64_t mix(std::uint64_t x) noexcept {
+      x += 0x9E3779B97F4A7C15ULL;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      return x ^ (x >> 31);
+    }
+
+    // Fingerprint from bits the bucket index does not use. A fingerprint
+    // collision within a bucket makes two keys share an entry -- the loser
+    // gets a stale-but-safe hint, repaired on its next lookup.
+    static std::uint64_t fingerprint(std::uint64_t h) noexcept {
+      return h & kFpMask;
+    }
+
+    static std::size_t victim_way(std::uint64_t h) noexcept {
+      return static_cast<std::size_t>((h >> 45) & (kWays - 1));
+    }
+
+    std::size_t bucket_mask_ = 0;
+    std::unique_ptr<Bucket[]> buckets_;
+  };
+};
+
+}  // namespace sv::core::hashidx

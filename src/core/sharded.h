@@ -23,10 +23,13 @@
 namespace sv::core {
 
 template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
-          class Alloc = alloc::MallocNodeAllocator>
+          class Alloc = alloc::MallocNodeAllocator,
+          class HashIndex = hashidx::NoIndex>
 class ShardedSkipVector {
+  // Each shard carries its own (optional) hash sidecar: per-shard tables
+  // keep hint cache lines NUMA-local, matching the sharding rationale.
   using Shard = SkipVectorMap<K, V, Reclaimer, vectormap::Layout::kSorted,
-                              vectormap::Layout::kUnsorted, Alloc>;
+                              vectormap::Layout::kUnsorted, Alloc, HashIndex>;
 
  public:
   // key_space is the exclusive upper bound of the key domain; keys must lie

@@ -110,6 +110,11 @@ enum class Counter : std::uint32_t {
   kBatchAborts,           // apply_batch lock-acquisition passes aborted
   kBatchKeys,             // ops applied by committed batches
 
+  // Hash sidecar (core/hash_index.h; zero unless HashIndex is enabled).
+  kHashHits,      // point ops concluded through a validated hint
+  kHashStale,     // probes that found an entry but could not conclude
+  kHashRebuilds,  // hint publish/repair/repoint events (split/merge/lookup)
+
   kCount
 };
 
@@ -161,6 +166,9 @@ inline constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "batch_commits",
     "batch_aborts",
     "batch_keys",
+    "hash_hits",
+    "hash_stale",
+    "hash_rebuilds",
 };
 
 inline constexpr std::string_view counter_name(Counter c) noexcept {

@@ -1,0 +1,341 @@
+// Hash sidecar (core/hash_index.h, docs/HASH_INDEX.md): unit tests of the
+// hint table, differential tests of sidecar-enabled maps against a std::map
+// oracle, and hint-staleness torture under concurrent split/merge churn
+// widened by the PR 1 fault-injection schedules. Every assertion here holds
+// because hints are advisory: a stale or missing hint may cost a probe but
+// must never change an operation's result.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hash_index.h"
+#include "core/skip_vector.h"
+#include "core/skip_vector_epoch.h"
+#include "debug/fault_inject.h"
+#include "stats/stats.h"
+
+namespace sv::core {
+namespace {
+
+using Table = hashidx::HashChunkIndex::Table<std::uint64_t>;
+
+// The disabled policy must be an empty member so [[no_unique_address]]
+// erases it from SkipVectorMap's layout.
+static_assert(std::is_empty_v<hashidx::NoIndex::Table<std::uint64_t>>);
+static_assert(!hashidx::NoIndex::kEnabled);
+static_assert(hashidx::HashChunkIndex::kEnabled);
+
+// Fake chunk pointers: heap allocations so the 48-bit packing constraint is
+// exercised with realistic addresses.
+struct FakeChunks {
+  std::vector<std::unique_ptr<int>> own;
+  void* make() {
+    own.push_back(std::make_unique<int>(0));
+    return own.back().get();
+  }
+};
+
+TEST(HashIndexTable, PutGetReconfirmEraseRoundTrip) {
+  Table t(1 << 10);
+  FakeChunks f;
+  void* a = f.make();
+  void* b = f.make();
+
+  EXPECT_EQ(t.get(42), nullptr);
+  t.put(42, a);
+  EXPECT_EQ(t.get(42), a);
+  EXPECT_TRUE(t.reconfirm(42, a));
+  EXPECT_FALSE(t.reconfirm(42, b));
+
+  t.put(42, b);  // overwrite in place
+  EXPECT_EQ(t.get(42), b);
+  EXPECT_FALSE(t.reconfirm(42, a));
+
+  t.erase(42, a);  // wrong pointer: must not clear the b entry
+  EXPECT_EQ(t.get(42), b);
+  t.erase(42, b);
+  EXPECT_EQ(t.get(42), nullptr);
+}
+
+TEST(HashIndexTable, RepointSwingsOnlyMatchingEntries) {
+  Table t(1 << 10);
+  FakeChunks f;
+  void* a = f.make();
+  void* b = f.make();
+  t.put(7, a);
+  t.repoint(7, b, a);  // no (7, b) entry exists: no-op
+  EXPECT_EQ(t.get(7), a);
+  t.repoint(7, a, b);
+  EXPECT_EQ(t.get(7), b);
+  EXPECT_TRUE(t.reconfirm(7, b));
+  EXPECT_FALSE(t.reconfirm(7, a));
+}
+
+TEST(HashIndexTable, ResetClearsEverything) {
+  Table t(256);
+  FakeChunks f;
+  for (std::uint64_t k = 0; k < 500; ++k) t.put(k, f.make());
+  t.reset();
+  for (std::uint64_t k = 0; k < 500; ++k) EXPECT_EQ(t.get(k), nullptr);
+}
+
+TEST(HashIndexTable, OverflowStealsSlotsButNeverLies) {
+  // A tiny table under heavy load: most entries get stolen, but any entry
+  // that IS returned must be the exact pointer last published for that key.
+  Table t(64);
+  FakeChunks f;
+  std::map<std::uint64_t, void*> published;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t k = rng.next_below(1024);
+    void* p = f.make();
+    t.put(k, p);
+    published[k] = p;
+  }
+  std::size_t hits = 0;
+  for (const auto& [k, p] : published) {
+    void* got = t.get(k);
+    if (got == nullptr) continue;  // stolen or fingerprint-collided: fine
+    // A non-null answer may be a fingerprint collision, but then reconfirm
+    // against the published pointer must agree with what get returned.
+    if (got == p) {
+      EXPECT_TRUE(t.reconfirm(k, p));
+      ++hits;
+    }
+  }
+  // Even a 64-slot table keeps SOME of 1024 keys.
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(HashIndexTable, PutSweepsDuplicateFingerprints) {
+  // put must leave at most one live entry per fingerprint (the FIX protocol
+  // finds entries by exact word; a duplicate would dangle). Republishing a
+  // key to a new chunk must make the old entry unfindable even via
+  // reconfirm, which scans the whole bucket.
+  Table t(1 << 10);
+  FakeChunks f;
+  void* a = f.make();
+  void* b = f.make();
+  for (int i = 0; i < 100; ++i) {
+    t.put(5, a);
+    t.put(5, b);
+    EXPECT_FALSE(t.reconfirm(5, a)) << "stale duplicate survived";
+    EXPECT_EQ(t.get(5), b);
+  }
+}
+
+// ---- Differential: sidecar-enabled map vs std::map oracle -------------------
+
+using HashDiffParam = std::tuple<std::uint64_t /*seed*/, std::uint32_t /*t_i*/,
+                                 std::uint32_t /*t_d*/>;
+
+class HashDifferentialTest : public testing::TestWithParam<HashDiffParam> {
+ protected:
+  void TearDown() override { debug::FaultInjector::instance().clear(); }
+};
+
+TEST_P(HashDifferentialTest, AgreesWithOracleUnderChurn) {
+  const auto [seed, t_i, t_d] = GetParam();
+  Config cfg;
+  cfg.target_index_vector_size = t_i;
+  cfg.target_data_vector_size = t_d;
+  cfg.layer_count = 5;
+  cfg.hash_index_slots = 512;  // deliberately small: force slot stealing
+
+  // Deterministic yields at the structural points stress hint maintenance
+  // ordering even single-threaded (and match the PR 1 schedule grammar).
+  debug::FaultInjector::instance().install(
+      debug::Schedule::parse("seed=3;pyield=0.02"));
+
+  SkipVectorHashSeq<std::uint64_t, std::uint64_t> sv(cfg);
+  std::map<std::uint64_t, std::uint64_t> oracle;
+
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < 15000; ++i) {
+    const std::uint64_t k = rng.next_below(600);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::uint64_t v = rng.next();
+        ASSERT_EQ(sv.insert(k, v), oracle.emplace(k, v).second) << "@" << i;
+        break;
+      }
+      case 1:
+        ASSERT_EQ(sv.remove(k), oracle.erase(k) > 0) << "@" << i;
+        break;
+      case 2: {
+        const std::uint64_t v = rng.next();
+        auto it = oracle.find(k);
+        const bool expect = it != oracle.end();
+        if (expect) it->second = v;
+        ASSERT_EQ(sv.update(k, v), expect) << "@" << i;
+        break;
+      }
+      default: {
+        auto got = sv.lookup(k);
+        auto it = oracle.find(k);
+        ASSERT_EQ(got.has_value(), it != oracle.end()) << "@" << i;
+        if (got) ASSERT_EQ(*got, it->second) << "@" << i;
+      }
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> from_sv;
+  sv.for_each([&](auto k, auto v) { from_sv.emplace_back(k, v); });
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expect(
+      oracle.begin(), oracle.end());
+  EXPECT_EQ(from_sv, expect);
+  std::string err;
+  EXPECT_TRUE(sv.validate(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, HashDifferentialTest,
+    testing::Values(HashDiffParam{31, 4, 4}, HashDiffParam{32, 1, 8},
+                    HashDiffParam{33, 8, 1}, HashDiffParam{34, 32, 32},
+                    HashDiffParam{35, 2, 2}, HashDiffParam{36, 16, 2}),
+    [](const testing::TestParamInfo<HashDiffParam>& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param)) + "_TI" +
+             std::to_string(std::get<1>(info.param)) + "_TD" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Hint-staleness torture under concurrent split/merge churn --------------
+//
+// Each worker owns the keys congruent to its id and keeps a private oracle;
+// all workers share the map, so every thread's splits and merges churn the
+// chunks (and therefore the hints) under everyone else's keys. Lookup
+// results must match the owner's oracle at all times, and the final map
+// must equal the union of the oracles.
+
+template <class MapT>
+class HashTortureTest : public testing::Test {
+ protected:
+  void TearDown() override { debug::FaultInjector::instance().clear(); }
+};
+
+using TortureMaps =
+    testing::Types<SkipVectorHash<std::uint64_t, std::uint64_t>,
+                   SkipVectorEpochHash<std::uint64_t, std::uint64_t>>;
+TYPED_TEST_SUITE(HashTortureTest, TortureMaps);
+
+TYPED_TEST(HashTortureTest, StripedOracleUnderChurn) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kStripeKeys = 512;
+  Config cfg;
+  cfg.layer_count = 5;
+  cfg.target_data_vector_size = 4;  // tiny chunks: constant split/merge
+  cfg.target_index_vector_size = 4;
+  cfg.hash_index_slots = 1024;
+
+  // Yields at split/merge/retire widen the windows where hints are stale.
+  debug::FaultInjector::instance().install(debug::Schedule::parse(
+      "seed=11;split@1=yield;merge@1=yield;retire@1=yield;pyield=0.01"));
+
+  TypeParam m(cfg);
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<std::map<std::uint64_t, std::uint64_t>> oracles(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& oracle = oracles[t];
+      Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < 20000; ++i) {
+        // Key owned exclusively by this thread (stride by thread count).
+        const std::uint64_t k =
+            rng.next_below(kStripeKeys) * kThreads + static_cast<std::uint64_t>(t);
+        const std::uint64_t v = rng.next();
+        switch (rng.next_below(8)) {
+          case 0:
+          case 1:
+          case 2: {
+            const bool expect = oracle.emplace(k, v).second;
+            if (m.insert(k, v) != expect) errors.fetch_add(1);
+            break;
+          }
+          case 3: {
+            const bool expect = oracle.erase(k) > 0;
+            if (m.remove(k) != expect) errors.fetch_add(1);
+            break;
+          }
+          case 4: {
+            auto it = oracle.find(k);
+            const bool expect = it != oracle.end();
+            if (expect) it->second = v;
+            if (m.update(k, v) != expect) errors.fetch_add(1);
+            break;
+          }
+          default: {
+            auto got = m.lookup(k);
+            auto it = oracle.find(k);
+            if (got.has_value() != (it != oracle.end())) {
+              errors.fetch_add(1);
+            } else if (got && *got != it->second) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(errors.load(), 0u);
+
+  std::map<std::uint64_t, std::uint64_t> merged;
+  for (const auto& o : oracles) merged.insert(o.begin(), o.end());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> from_map;
+  m.for_each([&](auto k, auto v) { from_map.emplace_back(k, v); });
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> expect(
+      merged.begin(), merged.end());
+  EXPECT_EQ(from_map, expect);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// ---- Counters ---------------------------------------------------------------
+
+TEST(HashIndexStats, CountersMoveWhenSidecarEnabled) {
+  if (!stats::kEnabled) GTEST_SKIP() << "built with SV_STATS=OFF";
+  Config cfg;
+  cfg.layer_count = 4;
+  cfg.target_data_vector_size = 4;
+  cfg.target_index_vector_size = 4;
+  SkipVectorHashSeq<std::uint64_t, std::uint64_t> m(cfg);
+  for (std::uint64_t k = 0; k < 512; ++k) ASSERT_TRUE(m.insert(k, k));
+  // Warm lookups repair any hints lost to splits; the second pass hits.
+  for (std::uint64_t k = 0; k < 512; ++k) ASSERT_TRUE(m.lookup(k));
+  for (std::uint64_t k = 0; k < 512; ++k) ASSERT_TRUE(m.lookup(k));
+  const auto snap = m.stats_registry().snapshot();
+  EXPECT_GT(snap[stats::Counter::kHashHits], 0u);
+  EXPECT_GT(snap[stats::Counter::kHashRebuilds], 0u);
+}
+
+TEST(HashIndexStats, ClearResetsHintsSafely) {
+  // clear() must reset the table: reused keys after clear() land in brand
+  // new chunks and every answer must reflect the post-clear state.
+  Config cfg;
+  cfg.layer_count = 4;
+  cfg.target_data_vector_size = 4;
+  cfg.target_index_vector_size = 4;
+  SkipVectorHashSeq<std::uint64_t, std::uint64_t> m(cfg);
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t k = 0; k < 256; ++k) {
+      ASSERT_TRUE(m.insert(k, k + static_cast<std::uint64_t>(round)));
+    }
+    for (std::uint64_t k = 0; k < 256; ++k) {
+      auto v = m.lookup(k);
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, k + static_cast<std::uint64_t>(round));
+    }
+    m.clear();
+    for (std::uint64_t k = 0; k < 256; ++k) ASSERT_FALSE(m.lookup(k));
+  }
+}
+
+}  // namespace
+}  // namespace sv::core

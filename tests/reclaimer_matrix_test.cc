@@ -1,10 +1,11 @@
 // Integration stress executed identically across every reclamation policy
 // (hazard pointers, epochs, leak) crossed with both node allocators
-// (malloc passthrough, slab pool): the full operation surface -- point ops,
-// navigation, range queries -- under concurrent churn, followed by complete
-// structural validation. Typed tests guarantee no combination silently
-// misses coverage. (ImmediateReclaimer is sequential-only; its parity
-// coverage over both allocators lives in tests/alloc_test.cc.)
+// (malloc passthrough, slab pool) and the hash sidecar (NoIndex,
+// HashChunkIndex; docs/HASH_INDEX.md): the full operation surface -- point
+// ops, navigation, range queries -- under concurrent churn, followed by
+// complete structural validation. Typed tests guarantee no combination
+// silently misses coverage. (ImmediateReclaimer is sequential-only; its
+// parity coverage over both allocators lives in tests/alloc_test.cc.)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -57,19 +58,29 @@ class ThreadLeakGuard {
   [[maybe_unused]] bool active_;
 };
 
-template <class R, class A = alloc::MallocNodeAllocator>
+template <class R, class A = alloc::MallocNodeAllocator,
+          class H = hashidx::NoIndex>
 struct Policy {
   using Reclaimer = R;
   using Alloc = A;
+  using HashIndex = H;
 };
 
-using Policies =
-    testing::Types<Policy<reclaim::HazardReclaimer>,
-                   Policy<reclaim::EpochReclaimer>,
-                   Policy<reclaim::LeakReclaimer>,
-                   Policy<reclaim::HazardReclaimer, alloc::PoolNodeAllocator>,
-                   Policy<reclaim::EpochReclaimer, alloc::PoolNodeAllocator>,
-                   Policy<reclaim::LeakReclaimer, alloc::PoolNodeAllocator>>;
+using Policies = testing::Types<
+    Policy<reclaim::HazardReclaimer>, Policy<reclaim::EpochReclaimer>,
+    Policy<reclaim::LeakReclaimer>,
+    Policy<reclaim::HazardReclaimer, alloc::PoolNodeAllocator>,
+    Policy<reclaim::EpochReclaimer, alloc::PoolNodeAllocator>,
+    Policy<reclaim::LeakReclaimer, alloc::PoolNodeAllocator>,
+    // Hash sidecar (docs/HASH_INDEX.md) crossed with each reclaimer family:
+    // the hint-probe protocol leans on hazard slots, epoch pins, or nothing
+    // (leak) respectively, so all three must survive the same stress.
+    Policy<reclaim::HazardReclaimer, alloc::MallocNodeAllocator,
+           hashidx::HashChunkIndex>,
+    Policy<reclaim::EpochReclaimer, alloc::PoolNodeAllocator,
+           hashidx::HashChunkIndex>,
+    Policy<reclaim::LeakReclaimer, alloc::MallocNodeAllocator,
+           hashidx::HashChunkIndex>>;
 
 template <class P>
 class ReclaimerMatrixTest : public testing::Test {
@@ -77,7 +88,7 @@ class ReclaimerMatrixTest : public testing::Test {
   using Map =
       SkipVectorMap<std::uint64_t, std::uint64_t, typename P::Reclaimer,
                     vectormap::Layout::kSorted, vectormap::Layout::kUnsorted,
-                    typename P::Alloc>;
+                    typename P::Alloc, typename P::HashIndex>;
 
   // LeakReclaimer on the malloc passthrough leaks retired nodes by design;
   // exempt only that combination from LeakSanitizer. The pool-backed leak

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -104,7 +105,21 @@ TEST(Stats, AggregatesAcrossExitedAndDetachedThreads) {
       w.detach();
     }
   }
+  // Wait for the detached threads' release-stores, bounded so a wedged
+  // runner fails this test instead of tripping the ctest suite timeout.
+  // Invariant under test: a block's counts are published by the Scope
+  // destructor sequenced before the `done` release-store, and blocks are
+  // retained by the registry until IT dies -- so once the acquire-load
+  // below observes kThreads, every increment is visible to snapshot().
+  // The detached threads themselves may still be running (between the
+  // store and thread exit); that is fine, they no longer touch `r`.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
   while (done.load(std::memory_order_acquire) < kThreads) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "detached stats threads did not finish within 60s; "
+        << done.load(std::memory_order_acquire) << "/" << kThreads
+        << " completed";
     std::this_thread::yield();
   }
   EXPECT_EQ(r.snapshot()[Counter::kInsertNew], kThreads * kPerThread);

@@ -3,6 +3,7 @@
 
 Usage:
     tools/benchdiff.py baseline.json current.json [--threshold=0.30]
+        [--threshold-map fig1=0.30,fig4=0.25] [--fail-on-missing-row]
     tools/benchdiff.py --validate-only file.json [file2.json ...]
 
 Rows are matched by (name, params). For each matched row every comparable
@@ -10,8 +11,17 @@ metric is diffed: throughput-like metrics regress when the current value
 drops more than --threshold below baseline; latency/time-like metrics
 regress when the current value rises more than --threshold above baseline.
 
-Exit codes: 0 = ok (or only improvements), 1 = regression detected or a
-file failed schema validation, 2 = usage error.
+--threshold-map overrides the threshold per figure: keys are matched as
+prefixes of the report's 'bench' name (fig4=0.25 applies to
+fig4_mix801010), so one CI loop can gate every figure at its own noise
+floor. --fail-on-missing-row turns "row only in baseline" from a warning
+into a failure: a silently vanished row (a renamed column, a dropped
+thread count) would otherwise pass the gate with nothing compared — which
+is how a baseline refresh that forgets a configuration goes unnoticed.
+
+Exit codes: 0 = ok (or only improvements), 1 = regression detected, a
+baseline row is missing under --fail-on-missing-row, or a file failed
+schema validation, 2 = usage error.
 
 Schema: see docs/OBSERVABILITY.md and src/benchutil/json_report.h.
 """
@@ -143,7 +153,7 @@ def fmt_key(key):
     return name + "{" + ", ".join(f"{k}={v}" for k, v in params) + "}"
 
 
-def compare(base_doc, cur_doc, threshold):
+def compare(base_doc, cur_doc, threshold, fail_on_missing_row=False):
     base = {row_key(r): r for r in base_doc["results"]}
     cur = {row_key(r): r for r in cur_doc["results"]}
     regressions = 0
@@ -151,10 +161,13 @@ def compare(base_doc, cur_doc, threshold):
 
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))
+    missing_tag = "MISSING ROW" if fail_on_missing_row else "warning"
     for k in only_base:
-        print(f"  warning: row only in baseline: {fmt_key(k)}")
+        print(f"  {missing_tag}: row only in baseline: {fmt_key(k)}")
     for k in only_cur:
         print(f"  warning: row only in current:  {fmt_key(k)}")
+    if fail_on_missing_row:
+        regressions += len(only_base)
 
     print(f"  {'row':<44} {'metric':<26} {'baseline':>12} "
           f"{'current':>12} {'delta':>8}")
@@ -175,9 +188,35 @@ def compare(base_doc, cur_doc, threshold):
                   f"{cur_val:>12.4g} {delta:>+7.1%}{tag}")
             if regressed:
                 regressions += 1
-    print(f"\n  {compared} metric(s) compared, {regressions} regression(s) "
-          f"beyond {threshold:.0%}")
+    print(f"\n  {compared} metric(s) compared, {regressions} failure(s) "
+          f"(threshold {threshold:.0%})")
     return regressions
+
+
+def parse_threshold_map(spec, error):
+    """Parse 'fig1=0.30,fig4=0.25' into an ordered {prefix: threshold}."""
+    out = {}
+    for item in filter(None, (s.strip() for s in spec.split(","))):
+        key, sep, val = item.partition("=")
+        try:
+            if not sep or not key:
+                raise ValueError
+            out[key] = float(val)
+            if out[key] < 0:
+                raise ValueError
+        except ValueError:
+            error(f"--threshold-map entry {item!r} is not PREFIX=FLOAT>=0")
+    return out
+
+
+def resolve_threshold(bench, default, tmap):
+    """Longest matching prefix of the bench name wins; else the default."""
+    best = None
+    for prefix, th in tmap.items():
+        if bench.startswith(prefix) and \
+                (best is None or len(prefix) > len(best)):
+            best, chosen = prefix, th
+    return chosen if best is not None else default
 
 
 def main():
@@ -187,12 +226,21 @@ def main():
                     help="baseline.json current.json, or files to validate")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="relative regression threshold (default 0.30)")
+    ap.add_argument("--threshold-map", default="", metavar="P=F[,P=F...]",
+                    help="per-figure thresholds keyed by a prefix of the "
+                         "report's 'bench' name, e.g. fig1=0.30,fig4=0.25; "
+                         "longest matching prefix wins, --threshold is the "
+                         "fallback")
+    ap.add_argument("--fail-on-missing-row", action="store_true",
+                    help="fail (exit 1) when a baseline row has no "
+                         "counterpart in current instead of warning")
     ap.add_argument("--validate-only", action="store_true",
                     help="only check schema validity of each FILE")
     args = ap.parse_args()
 
     if args.threshold < 0:
         ap.error("--threshold must be non-negative")
+    threshold_map = parse_threshold_map(args.threshold_map, ap.error)
 
     docs = []
     failed = False
@@ -221,10 +269,14 @@ def main():
     if base_doc["bench"] != cur_doc["bench"]:
         print(f"benchdiff: warning: comparing different benches "
               f"({base_doc['bench']} vs {cur_doc['bench']})")
+    threshold = resolve_threshold(base_doc["bench"], args.threshold,
+                                  threshold_map)
     print(f"== benchdiff: {base_doc['bench']} "
           f"[{base_doc['build'].get('git_sha')}] vs "
-          f"[{cur_doc['build'].get('git_sha')}] ==")
-    return 1 if compare(base_doc, cur_doc, args.threshold) else 0
+          f"[{cur_doc['build'].get('git_sha')}] "
+          f"(threshold {threshold:.0%}) ==")
+    return 1 if compare(base_doc, cur_doc, threshold,
+                        args.fail_on_missing_row) else 0
 
 
 if __name__ == "__main__":
