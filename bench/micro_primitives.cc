@@ -74,7 +74,7 @@ void BM_ChunkFindLE(benchmark::State& state) {
   const auto cap = static_cast<std::uint32_t>(state.range(0));
   auto keys = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
   auto vals = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
-  VectorMap<std::uint64_t, std::uint64_t, L> vm(keys.get(), vals.get(), cap);
+  VectorMap<std::uint64_t, std::uint64_t> vm(keys.get(), vals.get(), cap, L);
   Xoshiro256 rng(1);
   for (std::uint32_t i = 0; i < cap; ++i) vm.insert(i * 3, i);
   for (auto _ : state) {
@@ -89,7 +89,7 @@ void BM_ChunkInsertErase(benchmark::State& state) {
   const auto cap = static_cast<std::uint32_t>(state.range(0));
   auto keys = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
   auto vals = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
-  VectorMap<std::uint64_t, std::uint64_t, L> vm(keys.get(), vals.get(), cap);
+  VectorMap<std::uint64_t, std::uint64_t> vm(keys.get(), vals.get(), cap, L);
   for (std::uint32_t i = 0; i + 1 < cap; ++i) vm.insert(i * 2, i);
   // Repeatedly insert/erase an interior key: worst case for sorted shifts.
   const std::uint64_t k = cap;  // odd -> absent, lands mid-chunk

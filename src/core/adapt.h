@@ -1,0 +1,103 @@
+// Self-tuning chunk policy (docs/TUNING.md "Adaptive mode"): a pure
+// decision function mapping a chunk's observed access pattern to the layout
+// tag and target size its replacement chunks should use.
+//
+// The skip vector consults decide() only at split/merge/fold time -- the
+// points where the freeze bit already rewrites chunks wholesale, so a
+// layout conversion or capacity change is free (the rewrite was happening
+// anyway). Inputs come from the per-chunk hot counters in the node header
+// (NodeBase::hot, maintained only when Config::adaptive is set); outputs
+// are clamped so a chunk's target size never leaves [T/2, 2T] of the
+// configured base target, keeping the structure within the shape the layer
+// math (Config::layers_for) was sized for.
+//
+// Everything here is deliberately free of map dependencies so the policy
+// can be unit-tested with synthetic counter values (tests/adapt_test.cc).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "vectormap/layout.h"
+
+namespace sv::core::adapt {
+
+// One decision window's worth of per-chunk evidence. `reads` is scaled to
+// op granularity by the caller (the read side samples; see
+// SkipVectorMap::kReadSampleShift), `writes`/`retries`/`splits` are exact.
+struct Signals {
+  std::uint64_t reads = 0;    // data-layer search probes that hit the chunk
+  std::uint64_t writes = 0;   // point writes applied under the chunk lock
+  std::uint64_t retries = 0;  // seqlock validation failures on the chunk
+  std::uint64_t splits = 0;   // capacity splits since the last decision
+};
+
+// Hysteresis knobs. Defaults are intentionally sluggish: a chunk must show
+// clear, sustained evidence before its replacements change shape, because
+// a wrong flip costs an O(T) rewrite at the *next* structural op to undo.
+struct Policy {
+  // Ignore windows with fewer than this many total samples: fresh or cold
+  // chunks keep their current shape.
+  std::uint64_t min_samples = 64;
+  // Flip the layout only when one side outnumbers the other by this
+  // factor; anything closer to balanced holds the current tag.
+  std::uint64_t flip_ratio = 4;
+  // Grow the target (halve split cadence) once a chunk has split this many
+  // times in one window while staying write-dominated.
+  std::uint64_t grow_splits = 2;
+  // Shrink the target (shrink each seqlock's blast radius) once readers
+  // lost this many validations in one window.
+  std::uint64_t shrink_retries = 32;
+  // Contention gate for the unsorted flip: require at least one retry per
+  // this many writes before write dominance flips a chunk unsorted. The
+  // unsorted layout's payoff is a shorter seqlock write section (no O(T)
+  // shift while readers spin and writers collide) -- uncontended writes do
+  // not collect that payoff, and on few cores the sorted shift is the
+  // cheaper point write outright (docs/REPRODUCING.md fig. 7b note). 0
+  // disables the gate: any sustained write skew flips.
+  std::uint64_t contended_writes_per_retry = 16;
+};
+
+struct Decision {
+  vectormap::Layout layout;
+  std::uint32_t target;
+
+  bool operator==(const Decision& o) const noexcept {
+    return layout == o.layout && target == o.target;
+  }
+};
+
+// The decision: read-dominated chunks come back sorted (binary search /
+// cheap ordered scans), write-dominated AND contended ones unsorted
+// (short O(1) write sections); sustained split cadence under write
+// pressure grows the target, heavy seqlock-retry pressure shrinks it.
+// Always clamped to [base/2, 2*base].
+inline Decision decide(const Signals& s, vectormap::Layout current,
+                       std::uint32_t current_target,
+                       std::uint32_t base_target,
+                       const Policy& p = Policy{}) noexcept {
+  Decision d{current, current_target};
+  if (s.reads + s.writes < p.min_samples) return d;  // hysteresis: hold
+
+  if (s.reads >= p.flip_ratio * std::max<std::uint64_t>(1, s.writes)) {
+    d.layout = vectormap::Layout::kSorted;
+  } else if (s.writes >=
+                 p.flip_ratio * std::max<std::uint64_t>(1, s.reads) &&
+             (p.contended_writes_per_retry == 0 ||
+              s.retries * p.contended_writes_per_retry >= s.writes)) {
+    d.layout = vectormap::Layout::kUnsorted;
+  }
+
+  const std::uint64_t lo = std::max<std::uint32_t>(1, base_target / 2);
+  const std::uint64_t hi = std::uint64_t{2} * base_target;
+  std::uint64_t t = current_target;
+  if (s.splits >= p.grow_splits && s.writes > s.reads) {
+    t *= 2;
+  } else if (s.retries >= p.shrink_retries) {
+    t /= 2;
+  }
+  d.target = static_cast<std::uint32_t>(std::clamp(t, lo, hi));
+  return d;
+}
+
+}  // namespace sv::core::adapt

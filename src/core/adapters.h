@@ -192,9 +192,7 @@ class SkipVectorSet {
   }
 
  private:
-  SkipVectorMap<K, std::uint8_t, Reclaimer, vectormap::Layout::kSorted,
-                vectormap::Layout::kUnsorted, Alloc>
-      map_;
+  SkipVectorMap<K, std::uint8_t, Reclaimer, Alloc> map_;
 };
 
 // Concurrent priority queue (min-queue over keys).
@@ -237,9 +235,7 @@ class SkipVectorPriorityQueue {
   }
 
  private:
-  SkipVectorMap<K, V, Reclaimer, vectormap::Layout::kSorted,
-                vectormap::Layout::kUnsorted, Alloc>
-      map_;
+  SkipVectorMap<K, V, Reclaimer, Alloc> map_;
 };
 
 }  // namespace sv::core

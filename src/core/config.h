@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/adapt.h"
+#include "vectormap/layout.h"
+
 namespace sv::core {
 
 struct Config {
@@ -27,15 +30,40 @@ struct Config {
   // Seed for the per-thread height generators.
   std::uint64_t seed = 0xC0FFEE;
 
-  // Slot count for the optional hash sidecar (docs/HASH_INDEX.md); rounded
-  // up to a power of two by the table, 0 selects the policy default
-  // (64Ki slots = 512 KiB). Inert unless the map is instantiated with
-  // HashIndex = hashidx::HashChunkIndex. Sized like a cache: ~2x the
-  // expected live keys keeps the hit rate high; an undersized table
-  // degrades hit rate (slot stealing), never correctness.
+  // Slot count for the optional hash sidecar (docs/HASH_INDEX.md). 0
+  // selects the policy default (64Ki slots = 512 KiB); any other value
+  // must be a power of two in [kMinHashSlots, kMaxHashSlots] -- validate()
+  // rejects everything else, since a silently-rounded or absurd table size
+  // defeats the "sized like a cache" contract. Inert unless the map is
+  // instantiated with HashIndex = hashidx::HashChunkIndex. Sized like a
+  // cache: ~2x the expected live keys keeps the hit rate high; an
+  // undersized table degrades hit rate (slot stealing), never correctness.
   std::size_t hash_index_slots = 0;
 
+  // Initial chunk layouts (Fig. 7b): every new index/data chunk starts
+  // with this tag. The paper's best static choice -- binary-searchable
+  // index chunks, O(1)-write data chunks -- is the default. With
+  // `adaptive` set, data chunks may be retagged at split/merge time.
+  vectormap::Layout index_layout = vectormap::Layout::kSorted;
+  vectormap::Layout data_layout = vectormap::Layout::kUnsorted;
+
+  // Per-chunk self-tuning (docs/TUNING.md "Adaptive mode"): when true,
+  // data chunks carry hot counters and the adapt::decide() policy
+  // (src/core/adapt.h) retunes layout and target size at split/merge
+  // time. When false (default), chunks keep the static layouts above and
+  // pay no counter traffic.
+  bool adaptive = false;
+
+  // Hysteresis/contention knobs for the adaptive policy (only consulted
+  // when `adaptive` is set). The defaults are the conservative shipped
+  // policy; tests and experiments override individual fields (e.g.
+  // `contended_writes_per_retry = 0` makes the unsorted flip purely
+  // write-skew-driven, with no contention evidence required).
+  adapt::Policy adapt_policy{};
+
   static constexpr std::uint32_t kMaxLayers = 32;
+  static constexpr std::size_t kMinHashSlots = 64;
+  static constexpr std::size_t kMaxHashSlots = std::size_t{1} << 26;
 
   void validate() const {
     if (layer_count < 1 || layer_count > kMaxLayers)
@@ -46,6 +74,19 @@ struct Config {
       throw std::invalid_argument("target vector sizes must be <= 4096");
     if (merge_threshold_factor < 0)
       throw std::invalid_argument("merge_threshold_factor must be >= 0");
+    if (hash_index_slots != 0) {
+      if (hash_index_slots < kMinHashSlots ||
+          hash_index_slots > kMaxHashSlots)
+        throw std::invalid_argument(
+            "hash_index_slots must be 0 (policy default) or in [64, 2^26]");
+      if ((hash_index_slots & (hash_index_slots - 1)) != 0)
+        throw std::invalid_argument(
+            "hash_index_slots must be a power of two (the table masks, "
+            "it does not round)");
+    }
+    if (adaptive && adapt_policy.flip_ratio < 1)
+      throw std::invalid_argument(
+          "adapt_policy.flip_ratio must be >= 1 when adaptive is set");
   }
 
   std::uint32_t data_capacity() const { return 2 * target_data_vector_size; }
@@ -110,7 +151,10 @@ struct Config {
     return "Config{layers=" + std::to_string(layer_count) +
            ", T_D=" + std::to_string(target_data_vector_size) +
            ", T_I=" + std::to_string(target_index_vector_size) +
-           ", mergeFactor=" + std::to_string(merge_threshold_factor) + "}";
+           ", mergeFactor=" + std::to_string(merge_threshold_factor) +
+           ", layouts=" + vectormap::layout_name(index_layout) + "/" +
+           vectormap::layout_name(data_layout) +
+           (adaptive ? ", adaptive" : "") + "}";
   }
 };
 

@@ -28,8 +28,7 @@ template <class K, class V, class Reclaimer = reclaim::HazardReclaimer,
 class ShardedSkipVector {
   // Each shard carries its own (optional) hash sidecar: per-shard tables
   // keep hint cache lines NUMA-local, matching the sharding rationale.
-  using Shard = SkipVectorMap<K, V, Reclaimer, vectormap::Layout::kSorted,
-                              vectormap::Layout::kUnsorted, Alloc, HashIndex>;
+  using Shard = SkipVectorMap<K, V, Reclaimer, Alloc, HashIndex>;
 
  public:
   // key_space is the exclusive upper bound of the key domain; keys must lie

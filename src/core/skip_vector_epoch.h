@@ -21,16 +21,13 @@
 namespace sv::core {
 
 template <class K, class V>
-using SkipVectorEpoch = SkipVectorMap<K, V, reclaim::EpochReclaimer,
-                                      vectormap::Layout::kSorted,
-                                      vectormap::Layout::kUnsorted>;
+using SkipVectorEpoch = SkipVectorMap<K, V, reclaim::EpochReclaimer>;
 
 // SV-EBR on the slab pool (alloc/pool_allocator.h): the epoch domain's
 // deferred frees route back into the owning map's pool.
 template <class K, class V>
 using SkipVectorEpochPool =
-    SkipVectorMap<K, V, reclaim::EpochReclaimer, vectormap::Layout::kSorted,
-                  vectormap::Layout::kUnsorted, alloc::PoolNodeAllocator>;
+    SkipVectorMap<K, V, reclaim::EpochReclaimer, alloc::PoolNodeAllocator>;
 
 // SV-EBR with the hash sidecar (docs/HASH_INDEX.md). Under epochs the
 // sidecar's probe protocol leans on the operation's epoch pin instead of
@@ -40,8 +37,7 @@ using SkipVectorEpochPool =
 // the pinned epoch).
 template <class K, class V>
 using SkipVectorEpochHash =
-    SkipVectorMap<K, V, reclaim::EpochReclaimer, vectormap::Layout::kSorted,
-                  vectormap::Layout::kUnsorted, alloc::MallocNodeAllocator,
+    SkipVectorMap<K, V, reclaim::EpochReclaimer, alloc::MallocNodeAllocator,
                   hashidx::HashChunkIndex>;
 
 }  // namespace sv::core

@@ -13,9 +13,19 @@
 // loops are bounded by `capacity` regardless of what a racing writer does
 // (the termination requirement of §IV-C).
 //
-// Two layout policies (Fig. 7b):
+// Two layouts (Fig. 7b), selected PER CHUNK at runtime by a tag that lives
+// next to size in the node header (docs/TUNING.md "Adaptive mode"):
 //   Sorted:   keys ascending; O(log T) lookup, O(T) insert/erase (shifts).
 //   Unsorted: append/swap-with-last; O(T) lookup, O(1) insert/erase writes.
+//
+// The tag is written only under the node's write lock -- layout conversions
+// happen at split/merge/fold time, where the freeze bit already rewrites the
+// chunk wholesale -- and is loaded (relaxed) once per search inside the
+// seqlock read section. A speculative reader racing a conversion may
+// dispatch the wrong kernel for the bytes it reads; every kernel is bounded
+// by `n` and returns only kNpos or an index < n, so the result is merely
+// wrong, never unsafe, and SequenceLock::validate rejects it before it
+// escapes -- the same argument that already covers torn element sets.
 //
 // Vectorized speculative reads (kRawScan). When K is uint32_t/uint64_t and
 // std::atomic<K> is layout-identical to K and always lock-free, the search
@@ -55,14 +65,14 @@
 #include <limits>
 #include <optional>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/simd.h"
 #include "stats/stats.h"
+#include "vectormap/layout.h"
 
 namespace sv::vectormap {
-
-enum class Layout : std::uint8_t { kSorted, kUnsorted };
 
 namespace detail {
 
@@ -84,7 +94,7 @@ inline constexpr bool kTsanActive =
 
 }  // namespace detail
 
-template <class K, class V, Layout kLayout>
+template <class K, class V>
 class VectorMap {
   static_assert(std::is_trivially_copyable_v<K> &&
                     std::is_trivially_copyable_v<V>,
@@ -92,8 +102,6 @@ class VectorMap {
                 "read speculatively under sequence locks");
 
  public:
-  static constexpr bool kSorted = (kLayout == Layout::kSorted);
-
   // Whether searches scan the key array as raw memory through the sv::simd
   // kernels (see the memory-model note at the top of this header). False
   // under TSan, under SV_FORCE_SCALAR (simd::vectorized_v is then false),
@@ -105,14 +113,55 @@ class VectorMap {
       alignof(std::atomic<K>) == alignof(K) &&
       std::atomic<K>::is_always_lock_free;
 
-  VectorMap(std::atomic<K>* keys, std::atomic<V>* vals,
-            std::uint32_t capacity) noexcept
-      : keys_(keys), vals_(vals), capacity_(capacity), size_(0) {}
+  VectorMap(std::atomic<K>* keys, std::atomic<V>* vals, std::uint32_t capacity,
+            Layout layout = Layout::kSorted) noexcept
+      : keys_(keys), vals_(vals), capacity_(capacity), size_(0),
+        layout_(layout) {}
 
   VectorMap(const VectorMap&) = delete;
   VectorMap& operator=(const VectorMap&) = delete;
 
   std::uint32_t capacity() const noexcept { return capacity_; }
+
+  // The chunk's current layout tag. Safe to load speculatively: the tag
+  // only changes under the write lock, and a stale load yields a bounded
+  // wrong-kernel search that seqlock validation rejects.
+  Layout layout() const noexcept {
+    return layout_.load(std::memory_order_relaxed);
+  }
+  bool sorted() const noexcept { return layout() == Layout::kSorted; }
+
+  // Retag without moving elements (writer context). Only legal when the
+  // stored order already satisfies the new tag: any order is a valid
+  // Unsorted chunk, and an empty chunk satisfies either tag.
+  void set_layout(Layout l) noexcept {
+    layout_.store(l, std::memory_order_relaxed);
+  }
+
+  // Convert to the requested layout, physically reordering if needed
+  // (writer context: the node's write lock is held, the seqlock release
+  // publishes the rewrite). Returns true when the tag changed. Sorted ->
+  // Unsorted is a pure retag (a sorted array is a valid unsorted one);
+  // Unsorted -> Sorted gathers, sorts, and stores back.
+  bool convert_to(Layout l) noexcept {
+    if (layout() == l) return false;
+    if (l == Layout::kSorted) {
+      const std::uint32_t n = size();
+      thread_local std::vector<std::pair<K, V>> scratch;
+      scratch.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        scratch.emplace_back(load_key(i), load_val(i));
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::uint32_t i = 0; i < n; ++i) {
+        store_key(i, scratch[i].first);
+        store_val(i, scratch[i].second);
+      }
+    }
+    layout_.store(l, std::memory_order_relaxed);
+    return true;
+  }
 
   // Clamped size: a speculative reader may race with a writer, but must
   // never index out of bounds.
@@ -195,7 +244,7 @@ class VectorMap {
   bool insert(K k, V v) noexcept {
     const std::uint32_t n = size();  // clamped: see size() comment
     if (n >= capacity_) return false;
-    if constexpr (kSorted) {
+    if (sorted()) {
       std::uint32_t pos = sorted_upper_bound(n, k);
       if (n > pos) {
         stats::count(stats::Counter::kChunkShiftedSlots, n - pos);
@@ -234,7 +283,7 @@ class VectorMap {
     // here; n - 1 must never wrap and the shift loop must stay in bounds.
     const std::uint32_t n = size();
     if (n == 0) return false;
-    if constexpr (kSorted) {
+    if (sorted()) {
       if (n > i + 1) {
         stats::count(stats::Counter::kChunkShiftedSlots, n - i - 1);
       }
@@ -257,11 +306,10 @@ class VectorMap {
   // Move every element with key > pivot into dst (which must be empty and
   // have sufficient capacity). Used when Insert splits a node at the new
   // key. Order among chunks is preserved: dst holds the strictly-greater
-  // suffix.
-  template <Layout kOther>
-  void steal_greater(K pivot, VectorMap<K, V, kOther>& dst) noexcept {
+  // suffix. The two chunks may carry different layout tags.
+  void steal_greater(K pivot, VectorMap& dst) noexcept {
     const std::uint32_t n = size();  // clamped: see size() comment
-    if constexpr (kSorted) {
+    if (sorted()) {
       const std::uint32_t pos = sorted_upper_bound(n, pivot);
       for (std::uint32_t i = pos; i < n; ++i) {
         dst.insert(load_key(i), load_val(i));
@@ -286,8 +334,7 @@ class VectorMap {
 
   // Move the upper half (by key order) into dst; returns dst's minimum key.
   // Used when an insert finds the chunk at capacity. Requires size() >= 2.
-  template <Layout kOther>
-  K split_half(VectorMap<K, V, kOther>& dst) noexcept {
+  K split_half(VectorMap& dst) noexcept {
     const K med = median_key();
     steal_greater(med, dst);
     return dst.min_key();
@@ -295,23 +342,15 @@ class VectorMap {
 
   // Append every element of src (whose keys are all greater than ours --
   // src is our right neighbor). src is left empty.
-  template <Layout kOther>
-  void merge_from(VectorMap<K, V, kOther>& src) noexcept {
-    src.template drain_into<kLayout>(*this);
-  }
+  void merge_from(VectorMap& src) noexcept { src.drain_into(*this); }
 
   // Implementation helper for merge_from (needs access to src internals).
-  template <Layout kOther>
-  void drain_into(VectorMap<K, V, kOther>& dst) noexcept {
+  // Keys within an unsorted chunk are unordered; appending to a sorted dst
+  // via insert() keeps dst sorted either way.
+  void drain_into(VectorMap& dst) noexcept {
     const std::uint32_t n = size();  // clamped: see size() comment
-    if constexpr (kSorted) {
-      for (std::uint32_t i = 0; i < n; ++i) dst.insert(load_key(i),
-                                                       load_val(i));
-    } else {
-      // Keys within an unsorted chunk are unordered; appending to a sorted
-      // dst via insert() keeps dst sorted either way.
-      for (std::uint32_t i = 0; i < n; ++i) dst.insert(load_key(i),
-                                                       load_val(i));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      dst.insert(load_key(i), load_val(i));
     }
     size_.store(0, std::memory_order_relaxed);
   }
@@ -345,7 +384,7 @@ class VectorMap {
   template <class Fn>
   void for_each_ordered(Fn&& fn) const {
     const std::uint32_t n = size();
-    if constexpr (kSorted) {
+    if (sorted()) {
       for (std::uint32_t i = 0; i < n; ++i) fn(load_key(i), load_val(i));
     } else {
       thread_local std::vector<std::uint32_t> order;
@@ -360,9 +399,6 @@ class VectorMap {
   }
 
  private:
-  template <class, class, Layout>
-  friend class VectorMap;
-
   K load_key(std::uint32_t i) const noexcept {
     return keys_[i].load(std::memory_order_relaxed);
   }
@@ -396,8 +432,12 @@ class VectorMap {
   // ---- Shared search helpers ----------------------------------------------
   // All searches below operate on the first n slots (n already clamped by
   // size()) and return an index < n, or simd::kNpos for "no qualifying
-  // element". Every public read and mutator lookup routes through these,
-  // so the SIMD dispatch lives in exactly one place per shape.
+  // element". Every public read and mutator lookup routes through these, so
+  // the SIMD dispatch lives in exactly one place per shape. Each helper
+  // loads the layout tag once and branches on it: dispatching on the tag
+  // inside the seqlock read section is safe because a stale tag only
+  // selects the wrong (still bounded) kernel, and validation rejects the
+  // read section.
 
   // Sorted layout: first index with key > k / >= k.
   std::uint32_t sorted_upper_bound(std::uint32_t n, K k) const noexcept {
@@ -437,10 +477,11 @@ class VectorMap {
   // Largest key <= k, layout-aware.
   std::uint32_t search_le(std::uint32_t n, K k) const noexcept {
     note_search();
-    if constexpr (kSorted) {
+    if (sorted()) {
       const std::uint32_t ub = sorted_upper_bound(n, k);
       return ub == 0 ? simd::kNpos : ub - 1;
-    } else if constexpr (kRawScan) {
+    }
+    if constexpr (kRawScan) {
       return simd::find_le(raw_keys(), n, k);
     } else {
       std::uint32_t best = simd::kNpos;
@@ -459,10 +500,11 @@ class VectorMap {
   // Smallest key >= k, layout-aware.
   std::uint32_t search_ge(std::uint32_t n, K k) const noexcept {
     note_search();
-    if constexpr (kSorted) {
+    if (sorted()) {
       const std::uint32_t lb = sorted_lower_bound(n, k);
       return lb < n ? lb : simd::kNpos;
-    } else if constexpr (kRawScan) {
+    }
+    if constexpr (kRawScan) {
       return simd::find_ge(raw_keys(), n, k);
     } else {
       std::uint32_t best = simd::kNpos;
@@ -481,10 +523,11 @@ class VectorMap {
   // Exact match, layout-aware.
   std::uint32_t search_eq(std::uint32_t n, K k) const noexcept {
     note_search();
-    if constexpr (kSorted) {
+    if (sorted()) {
       const std::uint32_t lb = sorted_lower_bound(n, k);
       return (lb < n && load_key(lb) == k) ? lb : simd::kNpos;
-    } else if constexpr (kRawScan) {
+    }
+    if constexpr (kRawScan) {
       return simd::find_eq(raw_keys(), n, k);
     } else {
       for (std::uint32_t i = 0; i < n; ++i) {
@@ -498,9 +541,10 @@ class VectorMap {
   // implies an unsigned integral K, so the numeric_limits probes below are
   // well-defined there; other key types take the generic scan.
   std::uint32_t search_min(std::uint32_t n) const noexcept {
-    if constexpr (kSorted) {
+    if (sorted()) {
       return n != 0 ? 0 : simd::kNpos;
-    } else if constexpr (kRawScan) {
+    }
+    if constexpr (kRawScan) {
       if (n == 0) return simd::kNpos;
       return simd::find_ge(raw_keys(), n, K{});
     } else {
@@ -518,9 +562,10 @@ class VectorMap {
   }
 
   std::uint32_t search_max(std::uint32_t n) const noexcept {
-    if constexpr (kSorted) {
+    if (sorted()) {
       return n != 0 ? n - 1 : simd::kNpos;
-    } else if constexpr (kRawScan) {
+    }
+    if constexpr (kRawScan) {
       if (n == 0) return simd::kNpos;
       return simd::find_le(raw_keys(), n, std::numeric_limits<K>::max());
     } else {
@@ -549,22 +594,22 @@ class VectorMap {
     // racing writer can empty the chunk; (n - 1) / 2 must never wrap.
     const std::uint32_t n = size();
     if (n == 0) return K{};
-    if constexpr (kSorted) {
-      return load_key((n - 1) / 2);
-    } else {
-      thread_local std::vector<K> scratch;
-      scratch.clear();
-      for (std::uint32_t i = 0; i < n; ++i) scratch.push_back(load_key(i));
-      auto mid = scratch.begin() + (n - 1) / 2;
-      std::nth_element(scratch.begin(), mid, scratch.end());
-      return *mid;
-    }
+    if (sorted()) return load_key((n - 1) / 2);
+    thread_local std::vector<K> scratch;
+    scratch.clear();
+    for (std::uint32_t i = 0; i < n; ++i) scratch.push_back(load_key(i));
+    auto mid = scratch.begin() + (n - 1) / 2;
+    std::nth_element(scratch.begin(), mid, scratch.end());
+    return *mid;
   }
 
   std::atomic<K>* keys_;
   std::atomic<V>* vals_;
   const std::uint32_t capacity_;
   std::atomic<std::uint32_t> size_;
+  // Per-chunk layout tag: written only under the node's write lock, read
+  // speculatively (see header comment).
+  std::atomic<Layout> layout_;
 };
 
 }  // namespace sv::vectormap

@@ -1,0 +1,170 @@
+// Unit tests for the self-tuning chunk policy (core/adapt.h): the pure
+// decide() function fed synthetic counter windows. Covers the hysteresis
+// floor, both layout flip directions, the hold band between them, target
+// grow/shrink triggers, and the [base/2, 2*base] clamp.
+#include "core/adapt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace sv::core::adapt {
+namespace {
+
+using vectormap::Layout;
+
+constexpr std::uint32_t kBase = 32;
+
+Signals reads_only(std::uint64_t n) { return Signals{n, 0, 0, 0}; }
+Signals writes_only(std::uint64_t n) { return Signals{0, n, 0, 0}; }
+
+TEST(AdaptDecide, HoldsBelowMinSamples) {
+  // 63 samples < min_samples=64: whatever the skew, nothing changes.
+  const Decision d =
+      decide(reads_only(63), Layout::kUnsorted, kBase, kBase);
+  EXPECT_EQ(d.layout, Layout::kUnsorted);
+  EXPECT_EQ(d.target, kBase);
+  const Decision w =
+      decide(writes_only(63), Layout::kSorted, kBase, kBase);
+  EXPECT_EQ(w.layout, Layout::kSorted);
+}
+
+TEST(AdaptDecide, ReadDominatedFlipsToSorted) {
+  const Decision d =
+      decide(reads_only(256), Layout::kUnsorted, kBase, kBase);
+  EXPECT_EQ(d.layout, Layout::kSorted);
+  EXPECT_EQ(d.target, kBase) << "layout flip alone must not resize";
+}
+
+TEST(AdaptDecide, ContendedWriteDominanceFlipsToUnsorted) {
+  // Write skew alone is not enough: the unsorted payoff is a shorter
+  // seqlock write section, which only exists under contention. 256 writes
+  // with >= 256/16 retries clears the gate.
+  const Decision d = decide(Signals{0, 256, /*retries=*/16, 0},
+                            Layout::kSorted, kBase, kBase);
+  EXPECT_EQ(d.layout, Layout::kUnsorted);
+  EXPECT_EQ(d.target, kBase);
+}
+
+TEST(AdaptDecide, UncontendedWriteDominanceHoldsSorted) {
+  const Decision d =
+      decide(writes_only(256), Layout::kSorted, kBase, kBase);
+  EXPECT_EQ(d.layout, Layout::kSorted)
+      << "no retries -> no contention -> the sorted shift is the cheaper "
+         "point write; hold";
+  // One retry short of the writes/contended_writes_per_retry bar holds too.
+  const Decision below = decide(Signals{0, 256, /*retries=*/15, 0},
+                                Layout::kSorted, kBase, kBase);
+  EXPECT_EQ(below.layout, Layout::kSorted);
+}
+
+TEST(AdaptDecide, ContentionGateDisabledByZero) {
+  Policy p;
+  p.contended_writes_per_retry = 0;  // pure write-skew policy
+  const Decision d =
+      decide(writes_only(256), Layout::kSorted, kBase, kBase, p);
+  EXPECT_EQ(d.layout, Layout::kUnsorted);
+}
+
+TEST(AdaptDecide, BalancedMixHoldsCurrentLayout) {
+  // 2:1 either way is inside the flip_ratio=4 dead band.
+  const Signals r2w1{200, 100, 0, 0};
+  const Signals w2r1{100, 200, 0, 0};
+  EXPECT_EQ(decide(r2w1, Layout::kUnsorted, kBase, kBase).layout,
+            Layout::kUnsorted);
+  EXPECT_EQ(decide(r2w1, Layout::kSorted, kBase, kBase).layout,
+            Layout::kSorted);
+  EXPECT_EQ(decide(w2r1, Layout::kSorted, kBase, kBase).layout,
+            Layout::kSorted);
+  EXPECT_EQ(decide(w2r1, Layout::kUnsorted, kBase, kBase).layout,
+            Layout::kUnsorted);
+}
+
+TEST(AdaptDecide, FlipThresholdIsInclusive) {
+  // Exactly reads == flip_ratio * writes flips; one read fewer holds.
+  const Signals at{400, 100, 0, 0};
+  const Signals below{399, 100, 0, 0};
+  EXPECT_EQ(decide(at, Layout::kUnsorted, kBase, kBase).layout,
+            Layout::kSorted);
+  EXPECT_EQ(decide(below, Layout::kUnsorted, kBase, kBase).layout,
+            Layout::kUnsorted);
+}
+
+TEST(AdaptDecide, SplitCadenceGrowsTargetWhenWriteDominated) {
+  Signals s{10, 100, 0, /*splits=*/2};
+  const Decision d = decide(s, Layout::kUnsorted, kBase, kBase);
+  EXPECT_EQ(d.target, 2 * kBase);
+  // Same cadence while read-dominated does NOT grow: splitting under reads
+  // is just the map growing, not write pressure to amortize.
+  Signals r{200, 10, 0, /*splits=*/2};
+  EXPECT_EQ(decide(r, Layout::kSorted, kBase, kBase).target, kBase);
+}
+
+TEST(AdaptDecide, RetryPressureShrinksTarget) {
+  Signals s{100, 100, /*retries=*/32, 0};
+  const Decision d = decide(s, Layout::kSorted, kBase, kBase);
+  EXPECT_EQ(d.target, kBase / 2);
+  // One retry short of the threshold holds.
+  Signals below{100, 100, /*retries=*/31, 0};
+  EXPECT_EQ(decide(below, Layout::kSorted, kBase, kBase).target, kBase);
+}
+
+TEST(AdaptDecide, GrowWinsOverShrinkInOneWindow) {
+  // Both triggers fire: the split/grow branch is checked first, so a chunk
+  // under simultaneous write and retry pressure grows (fewer, larger
+  // rewrites) rather than oscillating.
+  Signals s{10, 100, /*retries=*/64, /*splits=*/4};
+  EXPECT_EQ(decide(s, Layout::kUnsorted, kBase, kBase).target, 2 * kBase);
+}
+
+TEST(AdaptDecide, TargetClampsToTwiceBase) {
+  // Already at the ceiling: another grow window is a no-op.
+  Signals s{0, 200, 0, /*splits=*/8};
+  EXPECT_EQ(decide(s, Layout::kUnsorted, 2 * kBase, kBase).target, 2 * kBase);
+}
+
+TEST(AdaptDecide, TargetClampsToHalfBase) {
+  Signals s{100, 100, /*retries=*/100, 0};
+  EXPECT_EQ(decide(s, Layout::kSorted, kBase / 2, kBase).target, kBase / 2);
+}
+
+TEST(AdaptDecide, DegenerateBaseTargetNeverReachesZero) {
+  // base_target=1: the floor is max(1, base/2) = 1, so shrink cannot
+  // produce an empty chunk target.
+  Signals s{100, 100, /*retries=*/100, 0};
+  const Decision d = decide(s, Layout::kSorted, 1, 1);
+  EXPECT_EQ(d.target, 1u);
+  // And grow still doubles to the 2*base ceiling.
+  Signals g{0, 200, 0, /*splits=*/8};
+  EXPECT_EQ(decide(g, Layout::kUnsorted, 1, 1).target, 2u);
+}
+
+TEST(AdaptDecide, CustomPolicyKnobsAreHonored) {
+  Policy p;
+  p.min_samples = 10;
+  p.flip_ratio = 2;
+  p.grow_splits = 1;
+  p.shrink_retries = 4;
+  const Decision d =
+      decide(Signals{8, 4, 0, 0}, Layout::kUnsorted, kBase, kBase, p);
+  EXPECT_EQ(d.layout, Layout::kSorted) << "2:1 flips under flip_ratio=2";
+  const Decision g =
+      decide(Signals{0, 20, 0, 1}, Layout::kUnsorted, kBase, kBase, p);
+  EXPECT_EQ(g.target, 2 * kBase);
+  const Decision sh =
+      decide(Signals{10, 10, 4, 0}, Layout::kSorted, kBase, kBase, p);
+  EXPECT_EQ(sh.target, kBase / 2);
+}
+
+TEST(AdaptDecide, DecisionEquality) {
+  const Decision a{Layout::kSorted, 32};
+  const Decision b{Layout::kSorted, 32};
+  const Decision c{Layout::kUnsorted, 32};
+  const Decision d{Layout::kSorted, 16};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace sv::core::adapt

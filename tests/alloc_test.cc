@@ -461,9 +461,7 @@ void run_parity() {
 }
 
 template <class R, class A>
-using ParityMap = sv::core::SkipVectorMap<
-    std::uint64_t, std::uint64_t, R, sv::vectormap::Layout::kSorted,
-    sv::vectormap::Layout::kUnsorted, A>;
+using ParityMap = sv::core::SkipVectorMap<std::uint64_t, std::uint64_t, R, A>;
 
 TEST(AllocatorParity, HazardMalloc) {
   run_parity<ParityMap<sv::reclaim::HazardReclaimer, MallocNodeAllocator>>();

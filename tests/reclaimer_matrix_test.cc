@@ -87,7 +87,6 @@ class ReclaimerMatrixTest : public testing::Test {
  protected:
   using Map =
       SkipVectorMap<std::uint64_t, std::uint64_t, typename P::Reclaimer,
-                    vectormap::Layout::kSorted, vectormap::Layout::kUnsorted,
                     typename P::Alloc, typename P::HashIndex>;
 
   // LeakReclaimer on the malloc passthrough leaks retired nodes by design;

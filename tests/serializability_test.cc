@@ -174,9 +174,8 @@ TEST(SpeculativeTermination, ChunkReadsAreBoundedUnderRacingWrites) {
   constexpr std::uint32_t kCap = 64;
   auto keys = std::make_unique<std::atomic<std::uint64_t>[]>(kCap);
   auto vals = std::make_unique<std::atomic<std::uint64_t>[]>(kCap);
-  sv::vectormap::VectorMap<std::uint64_t, std::uint64_t,
-                           sv::vectormap::Layout::kUnsorted>
-      vm(keys.get(), vals.get(), kCap);
+  sv::vectormap::VectorMap<std::uint64_t, std::uint64_t> vm(
+      keys.get(), vals.get(), kCap, sv::vectormap::Layout::kUnsorted);
 
   std::atomic<bool> stop{false};
   std::vector<std::thread> readers;

@@ -79,10 +79,8 @@ class ScopedLeakCheckDisabler {
 // The scalar atomic-load path must be provably selected when raw scans
 // would be invisible to TSan, and under the explicit escape hatch.
 #if defined(SV_TEST_TSAN) || defined(SV_FORCE_SCALAR)
-static_assert(
-    !VectorMap<std::uint64_t, std::uint64_t, Layout::kSorted>::kRawScan);
-static_assert(
-    !VectorMap<std::uint32_t, std::uint32_t, Layout::kUnsorted>::kRawScan);
+static_assert(!VectorMap<std::uint64_t, std::uint64_t>::kRawScan);
+static_assert(!VectorMap<std::uint32_t, std::uint32_t>::kRawScan);
 #endif
 #if defined(SV_FORCE_SCALAR)
 static_assert(!sv::simd::vectorized_v<std::uint32_t>);
@@ -191,10 +189,10 @@ struct Chunk {
   explicit Chunk(std::uint32_t cap)
       : keys(std::make_unique<std::atomic<std::uint64_t>[]>(cap)),
         vals(std::make_unique<std::atomic<std::uint64_t>[]>(cap)),
-        vm(keys.get(), vals.get(), cap) {}
+        vm(keys.get(), vals.get(), cap, L) {}
   std::unique_ptr<std::atomic<std::uint64_t>[]> keys;
   std::unique_ptr<std::atomic<std::uint64_t>[]> vals;
-  VectorMap<std::uint64_t, std::uint64_t, L> vm;
+  VectorMap<std::uint64_t, std::uint64_t> vm;
 };
 
 template <Layout L>

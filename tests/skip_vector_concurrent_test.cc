@@ -433,9 +433,10 @@ TEST(SkipVectorConcurrent, RangeQueriesDuringStructuralChurn) {
 
 TEST(SkipVectorConcurrent, SortedSortedLayoutUnderStress) {
   // Fig. 7b's alternative layouts must be just as correct.
-  SkipVectorMap<std::uint64_t, std::uint64_t, reclaim::HazardReclaimer,
-                Layout::kUnsorted, Layout::kSorted>
-      m(SmallChunks());
+  Config cfg = SmallChunks();
+  cfg.index_layout = Layout::kUnsorted;
+  cfg.data_layout = Layout::kSorted;
+  SkipVectorMap<std::uint64_t, std::uint64_t, reclaim::HazardReclaimer> m(cfg);
   const unsigned kThreads = StressThreads();
   std::vector<std::thread> threads;
   for (unsigned t = 0; t < kThreads; ++t) {

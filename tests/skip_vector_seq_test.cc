@@ -17,9 +17,18 @@ namespace {
 
 using vectormap::Layout;
 
+// Layouts became runtime configuration; the template parameters survive
+// here as convenience shorthand for the grid of static combinations.
 template <Layout I, Layout D>
-using Seq = SkipVectorMap<std::uint64_t, std::uint64_t,
-                          reclaim::ImmediateReclaimer, I, D>;
+struct Seq
+    : SkipVectorMap<std::uint64_t, std::uint64_t, reclaim::ImmediateReclaimer> {
+  explicit Seq(Config c = Config{})
+      : SkipVectorMap([](Config cfg) {
+          cfg.index_layout = I;
+          cfg.data_layout = D;
+          return cfg;
+        }(c)) {}
+};
 
 TEST(SkipVectorBasics, EmptyMapBehaviour) {
   Seq<Layout::kSorted, Layout::kUnsorted> m;

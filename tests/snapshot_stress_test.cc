@@ -78,7 +78,6 @@ class SnapshotStressTest : public testing::Test {
  protected:
   using Map =
       SkipVectorMap<std::uint64_t, std::uint64_t, typename P::Reclaimer,
-                    vectormap::Layout::kSorted, vectormap::Layout::kUnsorted,
                     typename P::Alloc>;
 
   static constexpr bool kLeaksByDesign =

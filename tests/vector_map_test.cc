@@ -16,21 +16,22 @@ namespace sv::vectormap {
 namespace {
 
 // Owning harness: VectorMap itself is a non-owning view (the skip vector
-// packs the arrays into node allocations).
+// packs the arrays into node allocations). The layout is a runtime ctor
+// argument now; the template parameter only feeds the typed suite.
 template <Layout L>
 class Chunk {
  public:
   explicit Chunk(std::uint32_t cap)
       : keys_(std::make_unique<std::atomic<std::uint64_t>[]>(cap)),
         vals_(std::make_unique<std::atomic<std::uint64_t>[]>(cap)),
-        map_(keys_.get(), vals_.get(), cap) {}
-  VectorMap<std::uint64_t, std::uint64_t, L>& operator*() { return map_; }
-  VectorMap<std::uint64_t, std::uint64_t, L>* operator->() { return &map_; }
+        map_(keys_.get(), vals_.get(), cap, L) {}
+  VectorMap<std::uint64_t, std::uint64_t>& operator*() { return map_; }
+  VectorMap<std::uint64_t, std::uint64_t>* operator->() { return &map_; }
 
  private:
   std::unique_ptr<std::atomic<std::uint64_t>[]> keys_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> vals_;
-  VectorMap<std::uint64_t, std::uint64_t, L> map_;
+  VectorMap<std::uint64_t, std::uint64_t> map_;
 };
 
 template <class T>

@@ -56,10 +56,18 @@ mkdir -p "$out_dir"
   --seconds=0.3 --trials=4 --hash --json="$out_dir/BENCH_fig4.json"
 "$build_dir/bench/fig5_mix05050" --range-bits=16 --threads=2,4 \
   --seconds=0.25 --trials=2 --pool --json="$out_dir/BENCH_fig5.json"
+# fig7b carries the layout matrix plus the adaptive sweep: the
+# scan_heavy/* and write_heavy/* rows pin "adaptive lands within 10% of
+# the best static layout and beats the worst" (docs/TUNING.md). Single
+# thread on purpose: with threads > cores, preemption inside seqlock write
+# sections turns the sweep cells into scheduler-noise measurements.
+"$build_dir/bench/fig7b_sorted_unsorted" --range-bits=14 \
+  --sweep-range-bits=14 --threads=1 --seconds=0.4 --trials=5 \
+  --json="$out_dir/BENCH_fig7.json"
 "$build_dir/bench/fig8_range" --range-bits=16 --spans=10 \
   --threads=2 --seconds=0.2 --json="$out_dir/BENCH_fig8.json"
 
 tools/benchdiff.py --validate-only "$out_dir"/BENCH_fig1.json \
   "$out_dir"/BENCH_fig4.json "$out_dir"/BENCH_fig5.json \
-  "$out_dir"/BENCH_fig8.json
+  "$out_dir"/BENCH_fig7.json "$out_dir"/BENCH_fig8.json
 echo "refresh_baselines: wrote baselines to $out_dir"
