@@ -49,6 +49,17 @@ enum class OpKind : std::uint8_t {
   kBatchPut,
   kBatchRemove,
   kSnapObserve,
+  // Transaction markers (sv::txn). A committed transaction is decomposed
+  // like a batch: one kTxnCommit marker plus per-key kLookup (validated
+  // reads) and kBatchPut/kBatchRemove (applied writes) events, all sharing
+  // the commit's invoke/response interval -- one linearization point per
+  // committed transaction. An aborted transaction emits only kTxnAbort (no
+  // per-key events: aborts are undo-free discards, invisible to the map).
+  // Markers carry no key/value state; the checker treats them as no-ops and
+  // skips them when partitioning by key.
+  kTxnBegin,
+  kTxnCommit,
+  kTxnAbort,
 };
 
 inline const char* op_kind_name(OpKind k) noexcept {
@@ -61,12 +72,15 @@ inline const char* op_kind_name(OpKind k) noexcept {
     case OpKind::kBatchPut: return "batch-put";
     case OpKind::kBatchRemove: return "batch-remove";
     case OpKind::kSnapObserve: return "snap";
+    case OpKind::kTxnBegin: return "txn-begin";
+    case OpKind::kTxnCommit: return "txn-commit";
+    case OpKind::kTxnAbort: return "txn-abort";
   }
   return "?";
 }
 
 inline OpKind op_kind_from_name(const std::string& s) {
-  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(OpKind::kSnapObserve);
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(OpKind::kTxnAbort);
        ++i) {
     if (s == op_kind_name(static_cast<OpKind>(i))) {
       return static_cast<OpKind>(i);

@@ -138,6 +138,13 @@ inline bool apply(const Event& e, KeyState& st) noexcept {
       if (e.ok ? !may_be_present : !may_be_absent) return false;
       st.p = P::kAbsent;
       return true;
+    case OpKind::kTxnBegin:
+    case OpKind::kTxnCommit:
+    case OpKind::kTxnAbort:
+      // Transaction markers carry no per-key effect: a committed txn's reads
+      // and writes are decomposed into the per-key events above (sharing the
+      // commit interval), and an aborted txn leaves the map untouched.
+      return true;
   }
   return false;
 }
@@ -303,7 +310,15 @@ inline CheckResult check_history(const History& h,
   res.ops_checked = h.events.size();
 
   std::unordered_map<std::uint64_t, std::vector<Event>> by_key;
-  for (const Event& e : h.events) by_key[e.key].push_back(e);
+  for (const Event& e : h.events) {
+    // Transaction markers are stateless no-ops; folding them into a key's
+    // subhistory (they all carry key 0) would only inflate the search.
+    if (e.kind == OpKind::kTxnBegin || e.kind == OpKind::kTxnCommit ||
+        e.kind == OpKind::kTxnAbort) {
+      continue;
+    }
+    by_key[e.key].push_back(e);
+  }
 
   for (auto& [key, ops] : by_key) {
     ++res.keys_checked;

@@ -11,6 +11,7 @@
 
 #include "check/history.h"
 #include "core/skip_vector.h"
+#include "txn/txn.h"
 
 namespace sv::core {
 
@@ -117,6 +118,56 @@ class RecordingMap {
                  op.key, put ? op.value : 0, op.applied, t0, t1);
     }
     return n;
+  }
+
+  // Transaction (sv::txn): runs `body(txn)` to completion like txn::run,
+  // recording each committed transaction as one kTxnCommit marker plus its
+  // per-key decomposition -- one kLookup per validated read and one
+  // kBatchPut/kBatchRemove per applied write, all sharing the commit's
+  // invoke/response interval. The checker then demands a single point where
+  // every read observation and write transition is simultaneously legal:
+  // exactly the one-linearization-point-per-committed-transaction guarantee
+  // serializable commits make. Conflicted or user-aborted attempts emit
+  // only a kTxnAbort marker (aborts are undo-free, invisible to the map).
+  template <class Body>
+  bool run_txn(Body&& body, const txn::RetryPolicy& policy = {}) {
+    if (recorder_ == nullptr) {
+      return txn::run(inner_, std::forward<Body>(body), policy);
+    }
+    auto& log = recorder_->thread_log();
+    sync::Backoff backoff(policy.max_spins);
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      txn::Txn<Inner> t(inner_);
+      const std::uint64_t tb = tsc_now();
+      log.record(check::OpKind::kTxnBegin, 0, 0, true, tb, tb);
+      if (!body(t)) {
+        const std::uint64_t ta = tsc_now();
+        log.record(check::OpKind::kTxnAbort, 0, 0, true, ta, ta);
+        return false;
+      }
+      const std::uint64_t t0 = tsc_now();
+      const bool committed = t.commit() == txn::TxnResult::kCommitted;
+      const std::uint64_t t1 = tsc_now();
+      if (committed) {
+        for (const auto& r : t.reads()) {
+          log.record(check::OpKind::kLookup, r.key, r.present ? r.value : 0,
+                     r.present, t0, t1);
+        }
+        for (const auto& w : t.writes()) {
+          const bool put = w.kind == mvcc::BatchOpKind::kPut;
+          log.record(
+              put ? check::OpKind::kBatchPut : check::OpKind::kBatchRemove,
+              w.key, put ? w.value : 0, w.applied, t0, t1);
+        }
+        log.record(check::OpKind::kTxnCommit, 0, 0, true, t0, t1);
+        return true;
+      }
+      log.record(check::OpKind::kTxnAbort, 0, 0, true, t0, t1);
+      if (policy.max_attempts != 0 && attempt + 1 >= policy.max_attempts) {
+        return false;
+      }
+      backoff.pause();
+    }
   }
 
   // Versioned snapshot scan: one kSnapObserve per mapping returned, all

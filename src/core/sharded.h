@@ -12,13 +12,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/skip_vector.h"
 #include "stats/stats.h"
+#include "txn/lock_mgr.h"
 
 namespace sv::core {
 
@@ -37,15 +37,14 @@ class ShardedSkipVector {
                     Config config = Config{})
       : key_space_(key_space),
         span_(shard_count > 0 ? (key_space + shard_count - 1) / shard_count
-                              : 0) {
+                              : 0),
+        gates_(shard_count) {
     if (shard_count < 1 || key_space < 1 || span_ < 1) {
       throw std::invalid_argument("need key_space >= 1 and shard_count >= 1");
     }
     shards_.reserve(shard_count);
-    gates_.reserve(shard_count);
     for (std::uint32_t i = 0; i < shard_count; ++i) {
       shards_.push_back(std::make_unique<Shard>(config));
-      gates_.push_back(std::make_unique<std::mutex>());
     }
   }
 
@@ -150,15 +149,14 @@ class ShardedSkipVector {
                      });
     const std::size_t first_shard = by_shard.front().first;
     const std::size_t last_shard = by_shard.back().first;
-    std::vector<std::unique_lock<std::mutex>> gates;
+    txn::ShardGates::Guard gate_guard;
     if (first_shard != last_shard) {
-      for (std::size_t s = first_shard; s <= last_shard; ++s) {
-        // Lock only involved shards (the span may have holes).
-        const bool involved =
-            std::any_of(by_shard.begin(), by_shard.end(),
-                        [&](const auto& p) { return p.first == s; });
-        if (involved) gates.emplace_back(*gates_[s]);
-      }
+      // Lock only involved shards, ascending (the span may have holes);
+      // the ordered acquisition lives in the shared lock manager.
+      gate_guard = gates_.lock_span(first_shard, last_shard, [&](std::size_t s) {
+        return std::any_of(by_shard.begin(), by_shard.end(),
+                           [&](const auto& p) { return p.first == s; });
+      });
     }
     std::size_t applied = 0;
     std::size_t i = 0;
@@ -214,20 +212,16 @@ class ShardedSkipVector {
   Shard& shard_for(K k) { return *shards_[shard_index(k)]; }
 
   // Lock the gates of every shard intersecting [lo, hi], ascending, iff the
-  // interval spans more than one shard. Returns the held locks (empty for
-  // the single-shard fast path).
-  std::vector<std::unique_lock<std::mutex>> gate_span(K lo, K hi) {
-    std::vector<std::unique_lock<std::mutex>> held;
+  // interval spans more than one shard (txn::ShardGates owns the ordered
+  // acquisition and the reverse-order release). Returns an empty guard for
+  // the single-shard fast path.
+  txn::ShardGates::Guard gate_span(K lo, K hi) {
     if (hi >= key_space_) hi = static_cast<K>(key_space_ - 1);
-    if (lo > hi) return held;
+    if (lo > hi) return {};
     const std::size_t first = shard_index(lo);
     const std::size_t last = shard_index(hi);
-    if (first == last) return held;
-    held.reserve(last - first + 1);
-    for (std::size_t s = first; s <= last; ++s) {
-      held.emplace_back(*gates_[s]);
-    }
-    return held;
+    if (first == last) return {};
+    return gates_.lock_span(first, last);
   }
 
   template <class Body>
@@ -247,9 +241,10 @@ class ShardedSkipVector {
   const std::uint64_t key_space_;
   const std::uint64_t span_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Per-shard gate mutexes, held (ascending) by multi-shard operations
-  // only; heap-allocated so the shard vector stays movable.
-  std::vector<std::unique_ptr<std::mutex>> gates_;
+  // Per-shard gates, held (ascending) by multi-shard operations only; the
+  // ordered-acquisition RAII lives in the shared lock manager
+  // (txn/lock_mgr.h), same layer that orders the per-chunk locks.
+  txn::ShardGates gates_;
 };
 
 }  // namespace sv::core

@@ -75,6 +75,7 @@
 #include "stats/stats.h"
 #include "sync/backoff.h"
 #include "sync/sequence_lock.h"
+#include "txn/lock_mgr.h"
 #include "vectormap/vector_map.h"
 
 namespace sv::core {
@@ -94,6 +95,12 @@ class SkipVectorMap {
   using Word = Lock::Word;
   using Ctx = typename Reclaimer::ThreadCtx;
   using VRecord = mvcc::VersionRecord<K, V>;
+
+  // The transaction layer's privileged bridge (txn/lock_mgr.h): the NO_WAIT
+  // 2PL growing phase and the shared commit pass live in sv::txn and reach
+  // the map's private navigation/mutation primitives through this friend.
+  template <class M>
+  friend struct ::sv::txn::MapAccess;
 
   // Hash sidecar (docs/HASH_INDEX.md). With the default NoIndex policy the
   // table is an empty member and every `if constexpr (kHashEnabled)` block
@@ -717,49 +724,33 @@ class SkipVectorMap {
   // the number of such ops. Chunk locks are claimed left-to-right with
   // no-wait upgrades (abort, back off, retry), so batches interleave safely
   // with each other, with range 2PL, and with single-key writers.
-  std::size_t apply_batch(BatchOp* ops, std::size_t n) {
-    if (n == 0) return 0;
+  std::size_t apply_batch(std::span<BatchOp> ops) {
+    if (ops.empty()) return 0;
     stats::Scope stats_scope(stats_);
     Ctx ctx = reclaimer_.thread_ctx();
     OpGuard op_scope(ctx);
-    // Stable key order: lock acquisition order for deadlock freedom, and
-    // same-key ops keep their submission order.
-    std::vector<std::uint32_t> order(n);
-    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return ops[a].key < ops[b].key;
-                     });
-    sync::Backoff backoff;
-    for (;;) {
-      std::size_t applied = 0;
-      std::int64_t delta = 0;
-      bool need_demote = false;
-      K demote_key{};
-      if (try_apply_batch(ctx, ops, order, applied, delta, need_demote,
-                          demote_key)) {
-        if (delta != 0) approx_size_.fetch_add(delta, std::memory_order_relaxed);
-        stats::count(stats::Counter::kBatchCommits);
-        if (applied > 0) stats::count(stats::Counter::kBatchKeys, applied);
-        return applied;
-      }
-      ctx.drop_all();
-      stats::count(stats::Counter::kBatchAborts);
-      restarts_.fetch_add(1, std::memory_order_relaxed);
-      if (need_demote) {
-        // A remove targets a towered key: demote its tower (a benign
-        // structural op -- the key stays present) outside the locking
-        // pass, then retry the batch.
-        demote_tower(ctx, demote_key);
-      }
-      backoff.pause();
+    // The whole 2PL engine -- ascending NO_WAIT floor locks, towered-remove
+    // demotes, single-version commit, bounded backoff between passes --
+    // lives in the shared transaction layer (txn/lock_mgr.h): a batch is a
+    // write-only transaction with an empty read set.
+    const auto out =
+        txn::LockMgr<SkipVectorMap>::run_batch(*this, ctx, ops.data(),
+                                               ops.size());
+    if (out.delta != 0) {
+      approx_size_.fetch_add(out.delta, std::memory_order_relaxed);
     }
+    stats::count(stats::Counter::kBatchCommits);
+    if (out.applied > 0) {
+      stats::count(stats::Counter::kBatchKeys, out.applied);
+    }
+    return out.applied;
   }
-  std::size_t apply_batch(std::span<BatchOp> ops) {
-    return apply_batch(ops.data(), ops.size());
+  // Thin forwarders over the span implementation.
+  std::size_t apply_batch(BatchOp* ops, std::size_t n) {
+    return apply_batch(std::span<BatchOp>(ops, n));
   }
   std::size_t apply_batch(std::vector<BatchOp>& ops) {
-    return apply_batch(ops.data(), ops.size());
+    return apply_batch(std::span<BatchOp>(ops.data(), ops.size()));
   }
 
   // Current global commit version (diagnostics/tests).
@@ -2815,177 +2806,14 @@ class SkipVectorMap {
   }
 
   // ---- Batch implementation --------------------------------------------------
-
-  // True when `k` still belongs to locked chunk `c` (no better floor to its
-  // right). c's lock pins its successor; a successor's minimum never
-  // decreases, so a positive answer stays valid while we hold the lock.
-  bool covers(NodeBase* c, K k) {
-    NodeBase* next = c->next.load(std::memory_order_acquire);
-    if (next == nullptr) return true;
-    const std::uint32_t sz = node_size(next);
-    return sz > 0 && k < node_min_key(next);
-  }
-
-  // Full speculative descent to the data-layer floor chunk for k, then a
-  // no-wait write-lock. Used for the batch's first key (no locks held, so
-  // blocking reads inside the shared traversal are safe).
-  bool lock_floor_descent(Ctx& ctx, K k, NodeBase** out) {
-    Trav t = begin_traversal(ctx);
-    while (t.node->layer > 0) {
-      if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
-      NodeBase* down = nullptr;
-      bool exact = false;
-      if (!index_down(t, k, &down, &exact)) return false;
-      if (!exchange_down(ctx, t, down)) return false;
-    }
-    if (!traverse_right(ctx, t, k, /*mutator=*/false)) return false;
-    if (!t.node->lock.try_upgrade(t.ver)) return false;
-    *out = t.node;
-    return true;
-  }
-
-  // Lateral no-wait walk from an already-locked chunk to the floor chunk
-  // for a later (larger) key. NEVER blocks: while holding locks, waiting on
-  // another thread's lock (even a read_begin spin) could deadlock two
-  // batches against each other, so any held word aborts the pass. Empty
-  // chunks (demoted or drained, awaiting an orphan merge) hold no floor
-  // candidate and are hopped over rather than aborted on: an empty chunk
-  // that no descent happens to cross would otherwise wedge every batch
-  // whose key span crosses it. When only empty chunks separate `from` from
-  // the first chunk with min > k, the floor is `from` itself, returned
-  // (still locked) in *out -- the caller must not re-push it.
-  bool lock_floor_from(Ctx& ctx, NodeBase* from, K k, NodeBase** out) {
-    // `best`: rightmost non-empty chunk seen with min <= k. It stays
-    // hazard-protected in slot 2 while the walk probes further; the final
-    // try_upgrade(best_ver) rejects any change since it was examined.
-    NodeBase* best = from;
-    Word best_ver = 0;
-    NodeBase* node = from->next.load(std::memory_order_acquire);
-    if (node == nullptr) {
-      *out = from;  // nothing right of from: it is the floor
-      return true;
-    }
-    int slot = 0;
-    ctx.protect(slot, node);  // linked: from's held lock pins it
-    Word ver = node->lock.load_relaxed();
-    if (Lock::is_locked(ver) || Lock::is_frozen(ver)) return false;
-    std::atomic_thread_fence(std::memory_order_acquire);
-    for (;;) {
-      const std::uint32_t sz = node_size(node);
-      if (sz > 0) {
-        if (k < node_min_key(node)) {
-          // Validate the basis for stopping before trusting it.
-          if (!node->lock.validate(ver)) return false;
-          break;
-        }
-        best = node;
-        best_ver = ver;
-        ctx.protect(2, node);
-        if (!node->lock.validate(ver)) return false;
-      }
-      NodeBase* next = node->next.load(std::memory_order_acquire);
-      if (next == nullptr) {
-        // Validate before trusting "node is last AND its min > k or it
-        // is empty" -- an unvalidated read must not settle the floor.
-        if (!node->lock.validate(ver)) return false;
-        break;  // best (or from) is the floor
-      }
-      const int nslot = other_slot(slot);
-      ctx.protect(nslot, next);
-      // Covers the sz/min reads above and the next read: node unchanged,
-      // so next is node's real successor (never the retired sentinel).
-      if (!node->lock.validate(ver)) return false;
-      const Word nver = next->lock.load_relaxed();
-      if (Lock::is_locked(nver) || Lock::is_frozen(nver)) return false;
-      std::atomic_thread_fence(std::memory_order_acquire);
-      ctx.drop(slot);
-      node = next;
-      ver = nver;
-      slot = nslot;
-    }
-    if (best == from) {
-      *out = from;
-      return true;
-    }
-    if (!best->lock.try_upgrade(best_ver)) return false;
-    *out = best;
-    return true;
-  }
-
-  // One no-wait locking pass of apply_batch. On success every staged op has
-  // been applied at a single commit version and all locks are released; on
-  // failure all locks are released and the caller backs off and retries
-  // (after demoting a towered remove key when need_demote is set).
-  bool try_apply_batch(Ctx& ctx, BatchOp* ops,
-                       const std::vector<std::uint32_t>& order,
-                       std::size_t& applied, std::int64_t& delta,
-                       bool& need_demote, K& demote_key) {
-    std::vector<NodeBase*> locked;
-    std::vector<std::uint32_t> chunk_of;  // staged op -> index into locked
-    auto abort_all = [&]() -> bool {
-      for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
-        (*it)->lock.release();
-      }
-      return false;
-    };
-    // Phase 1: growing -- lock the floor chunk of every key, ascending.
-    for (const std::uint32_t idx : order) {
-      const K k = ops[idx].key;
-      if (locked.empty() || !covers(locked.back(), k)) {
-        NodeBase* chunk = nullptr;
-        const bool ok = locked.empty()
-                            ? lock_floor_descent(ctx, k, &chunk)
-                            : lock_floor_from(ctx, locked.back(), k, &chunk);
-        if (!ok) return abort_all();
-        if (locked.empty() || chunk != locked.back()) {
-          locked.push_back(chunk);
-          // Verify floor-ness under the lock: a non-head floor chunk must
-          // hold a minimum <= k (otherwise a put would break the index
-          // entry's min invariant; transient states abort instead). When
-          // the lateral walk settled back on the already-locked chunk
-          // (only empty chunks up to the first min > k), it passed this
-          // for an earlier, smaller key, so min <= k holds a fortiori.
-          if (!chunk->is_head &&
-              (node_size(chunk) == 0 || k < node_min_key(chunk))) {
-            return abort_all();
-          }
-        }
-      }
-      NodeBase* chunk = locked.back();
-      if (ops[idx].kind == mvcc::BatchOpKind::kRemove && !chunk->is_head &&
-          !Lock::is_orphan(chunk->lock.load_relaxed()) &&
-          node_size(chunk) > 0 && node_min_key(chunk) == k) {
-        // k is the minimum of a non-orphan chunk: it may have a tower in
-        // the index layers, and erasing it here would dangle those
-        // entries. Demote outside the pass, then retry.
-        need_demote = true;
-        demote_key = k;
-        return abort_all();
-      }
-      chunk_of.push_back(static_cast<std::uint32_t>(locked.size() - 1));
-    }
-    // Phase 2: commit. All floor chunks are locked; reserve ONE commit
-    // version, then stage pre-images and apply per chunk. Speculative
-    // readers cannot validate against any touched chunk until its release,
-    // and versioned readers at v < c use the pre-images -- so the batch is
-    // atomic.
-    SV_FAULT_POINT(debug::Point::kBatchCommit);
-    const std::uint64_t c = version_reserve();
-    const bool preserve = snapshots_active();
-    std::size_t si = 0;
-    for (std::size_t ci = 0; ci < locked.size(); ++ci) {
-      // Collect this chunk's staged ops (contiguous in key order).
-      const std::size_t begin = si;
-      while (si < chunk_of.size() && chunk_of[si] == ci) ++si;
-      apply_chunk_ops(locked[ci], ops, order, begin, si, c, preserve, locked,
-                      applied, delta);
-    }
-    for (auto it = locked.rbegin(); it != locked.rend(); ++it) {
-      (*it)->lock.release();
-    }
-    ctx.drop_all();
-    return true;
-  }
+  //
+  // The NO_WAIT 2PL engine that used to live here inline -- covers(),
+  // lock_floor_descent(), lock_floor_from(), try_apply_batch() -- moved to
+  // the shared transaction layer (txn/lock_mgr.h, reached through the
+  // sv::txn::MapAccess friend). What remains below are the map-side
+  // mutation primitives the lock manager drives: apply_chunk_ops (absorb a
+  // locked chunk's sorted op run, splitting at capacity) and the tower
+  // demote used when a batch removes a towered key.
 
   // Apply staged ops [begin, end) (ascending keys) to one locked chunk,
   // splitting at capacity into locked orphan siblings that are appended to

@@ -1,0 +1,100 @@
+#include "dbx/tpcc.h"
+
+namespace sv::dbx::tpcc {
+
+namespace {
+constexpr std::uint32_t kTableShift = 56;
+constexpr std::uint32_t kWarehouseShift = 40;
+constexpr std::uint32_t kDistrictShift = 32;
+constexpr std::uint64_t kWarehouseMask = 0xffff;
+constexpr std::uint64_t kDistrictMask = 0xff;
+constexpr std::uint64_t kSlotMask = 0xffffffff;
+// Order-line slots: [31:8] oid, [7:0] line.
+constexpr std::uint32_t kLineBits = 8;
+}  // namespace
+
+std::uint64_t make_key(Table t, std::uint32_t warehouse,
+                       std::uint32_t district, std::uint32_t slot) noexcept {
+  return (static_cast<std::uint64_t>(t) << kTableShift) |
+         (static_cast<std::uint64_t>(warehouse & kWarehouseMask)
+          << kWarehouseShift) |
+         (static_cast<std::uint64_t>(district & kDistrictMask)
+          << kDistrictShift) |
+         slot;
+}
+
+KeyParts split_key(std::uint64_t key) noexcept {
+  return KeyParts{
+      static_cast<Table>(key >> kTableShift),
+      static_cast<std::uint32_t>((key >> kWarehouseShift) & kWarehouseMask),
+      static_cast<std::uint32_t>((key >> kDistrictShift) & kDistrictMask),
+      static_cast<std::uint32_t>(key & kSlotMask),
+  };
+}
+
+std::uint32_t order_line_slot(std::uint32_t oid, std::uint32_t line) noexcept {
+  return (oid << kLineBits) | (line & 0xff);
+}
+
+bool TpccConfig::validate(std::string* err) const {
+  auto fail = [&](const char* what) {
+    if (err != nullptr) *err = what;
+    return false;
+  };
+  if (warehouses == 0 || warehouses > kWarehouseMask) {
+    return fail("warehouses out of range");
+  }
+  if (districts_per_warehouse == 0 || districts_per_warehouse > kDistrictMask) {
+    return fail("districts_per_warehouse out of range");
+  }
+  if (customers_per_district == 0 || customers_per_district > kSlotMask) {
+    return fail("customers_per_district out of range");
+  }
+  if (items == 0 || items > kSlotMask) return fail("items out of range");
+  // Order-line slots pack the line number into kLineBits.
+  if (max_order_lines == 0 || max_order_lines > (1u << kLineBits) ||
+      max_order_lines > 64) {
+    return fail("max_order_lines out of range");
+  }
+  if (payment_fraction < 0.0 || payment_fraction > 1.0) {
+    return fail("payment_fraction must be in [0, 1]");
+  }
+  if (zipf_theta < 0.0) return fail("zipf_theta must be >= 0");
+  return true;
+}
+
+TpccRandom::TpccRandom(const TpccConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      customer_zipf_(cfg.customers_per_district, cfg.zipf_theta, seed * 2 + 1),
+      item_zipf_(cfg.items, cfg.zipf_theta, seed * 2 + 2),
+      rng_(seed) {}
+
+bool TpccRandom::is_payment() {
+  return rng_.next_double() < cfg_.payment_fraction;
+}
+
+std::uint32_t TpccRandom::warehouse() {
+  return static_cast<std::uint32_t>(rng_.next_below(cfg_.warehouses));
+}
+
+std::uint32_t TpccRandom::district() {
+  return static_cast<std::uint32_t>(
+      rng_.next_below(cfg_.districts_per_warehouse));
+}
+
+std::uint32_t TpccRandom::customer() {
+  return static_cast<std::uint32_t>(customer_zipf_.next());
+}
+
+std::uint32_t TpccRandom::item() {
+  return static_cast<std::uint32_t>(item_zipf_.next());
+}
+
+std::uint32_t TpccRandom::order_lines() {
+  // TPC-C draws 5..15 lines; scale to [1, max_order_lines].
+  return 1 + static_cast<std::uint32_t>(rng_.next_below(cfg_.max_order_lines));
+}
+
+std::uint64_t TpccRandom::amount() { return 1 + rng_.next_below(5000); }
+
+}  // namespace sv::dbx::tpcc

@@ -1,0 +1,318 @@
+// TPC-C-lite: a new-order/payment transaction mix over ONE ordered map,
+// executed entirely through sv::txn (txn/txn.h). This is the multi-key
+// read-modify-write workload the YCSB mix cannot produce: every payment is
+// a 3-key RMW chain and every new-order a district-sequence increment plus
+// per-item stock decrements plus fresh order-row inserts, with TPC-C's
+// realistic skew (hot warehouses/districts via a Zipfian chooser, the
+// district next-order-id as the classic hot key).
+//
+// "Lite" relative to TPC-C proper: one table (a single u64 -> u64 map with
+// the table id packed into the key's top bits), scaled-down cardinalities,
+// no delivery/order-status/stock-level transactions, and amounts in integer
+// cents. What it keeps is exactly what exercises the transaction layer:
+// cross-key atomicity (conserved balances), per-district order-id sequences
+// (no gaps, no duplicates), and read-modify-write under contention.
+//
+// Invariants checked by check_invariants() after a run quiesces:
+//   1. Conservation: payment moves amount into w_ytd and d_ytd and takes
+//      2*amount out of the customer balance, so the u64 sum over all
+//      {w_ytd, d_ytd, customer-balance} keys is constant (mod 2^64).
+//   2. Sequences: each district's next_o_id equals its initial value plus
+//      the number of committed new-orders for that district, and every oid
+//      below it has a matching order row with its order-line rows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "txn/txn.h"
+
+namespace sv::dbx::tpcc {
+
+// Which logical TPC-C table a packed key belongs to (top byte of the key).
+enum class Table : std::uint8_t {
+  kWarehouseYtd = 1,    // (w)       warehouse year-to-date total
+  kDistrictYtd = 2,     // (w, d)    district year-to-date total
+  kDistrictNextOid = 3, // (w, d)    next order id -- the classic hot key
+  kCustomerBalance = 4, // (w, d, c) customer balance
+  kStock = 5,           // (w, item) stock quantity
+  kOrder = 6,           // (w, d, oid)      order row (value = line count)
+  kOrderLine = 7,       // (w, d, oid, ln)  order line (value = item|qty)
+};
+
+// Key codec: [63:56] table, [55:40] warehouse, [39:32] district,
+// [31:0] slot (customer, item, or order id). Implemented in tpcc.cc.
+std::uint64_t make_key(Table t, std::uint32_t warehouse,
+                       std::uint32_t district, std::uint32_t slot) noexcept;
+
+struct KeyParts {
+  Table table;
+  std::uint32_t warehouse;
+  std::uint32_t district;
+  std::uint32_t slot;
+};
+KeyParts split_key(std::uint64_t key) noexcept;
+
+// Order-line keys pack (oid, line) into the 32-bit slot; the line count is
+// bounded by TpccConfig::max_order_lines.
+std::uint32_t order_line_slot(std::uint32_t oid, std::uint32_t line) noexcept;
+
+struct TpccConfig {
+  std::uint32_t warehouses = 4;
+  std::uint32_t districts_per_warehouse = 10;
+  std::uint32_t customers_per_district = 96;   // TPC-C: 3000
+  std::uint32_t items = 1024;                  // TPC-C: 100000
+  std::uint32_t max_order_lines = 8;           // TPC-C: 5..15
+  double payment_fraction = 0.5;               // rest are new-orders
+  double zipf_theta = 0.8;                     // customer/item skew
+  std::uint64_t initial_balance = 100'000;     // cents
+  std::uint64_t initial_stock = 100'000;
+  std::uint32_t initial_next_oid = 1;
+
+  // False (with a reason in *err) when a field is out of the codec's or
+  // the invariant checker's range.
+  bool validate(std::string* err = nullptr) const;
+};
+
+// Per-thread input generator (TPC-C's NURand stands in for nothing fancier
+// here: uniform warehouse/district -- contention comes from the small
+// counts -- and Zipfian customers/items for hot rows).
+class TpccRandom {
+ public:
+  TpccRandom(const TpccConfig& cfg, std::uint64_t seed);
+
+  bool is_payment();
+  std::uint32_t warehouse();
+  std::uint32_t district();
+  std::uint32_t customer();
+  std::uint32_t item();
+  std::uint32_t order_lines();
+  std::uint64_t amount();  // 1..5000 cents
+
+ private:
+  TpccConfig cfg_;
+  ZipfGenerator customer_zipf_;
+  ZipfGenerator item_zipf_;
+  Xoshiro256 rng_;
+};
+
+struct TpccStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t payments = 0;    // committed
+  std::uint64_t new_orders = 0;  // committed
+
+  TpccStats& operator+=(const TpccStats& o) {
+    commits += o.commits;
+    aborts += o.aborts;
+    payments += o.payments;
+    new_orders += o.new_orders;
+    return *this;
+  }
+  double abort_rate() const {
+    const double total = static_cast<double>(commits + aborts);
+    return total == 0 ? 0.0 : static_cast<double>(aborts) / total;
+  }
+};
+
+// The database: owns nothing but a reference to the map and the committed
+// per-district order counts the invariant checker compares against.
+template <class Map>
+class TpccLite {
+ public:
+  TpccLite(const TpccConfig& cfg, Map& map)
+      : cfg_(cfg),
+        map_(&map),
+        committed_orders_(cfg.warehouses * cfg.districts_per_warehouse) {
+    std::string err;
+    if (!cfg.validate(&err)) throw std::invalid_argument("TpccConfig: " + err);
+  }
+
+  const TpccConfig& config() const noexcept { return cfg_; }
+
+  // Quiescent initial load (single-threaded).
+  void load() {
+    for (std::uint32_t w = 0; w < cfg_.warehouses; ++w) {
+      map_->insert(make_key(Table::kWarehouseYtd, w, 0, 0), 0);
+      for (std::uint32_t d = 0; d < cfg_.districts_per_warehouse; ++d) {
+        map_->insert(make_key(Table::kDistrictYtd, w, d, 0), 0);
+        map_->insert(make_key(Table::kDistrictNextOid, w, d, 0),
+                     cfg_.initial_next_oid);
+        for (std::uint32_t c = 0; c < cfg_.customers_per_district; ++c) {
+          map_->insert(make_key(Table::kCustomerBalance, w, d, c),
+                       cfg_.initial_balance);
+        }
+      }
+      for (std::uint32_t i = 0; i < cfg_.items; ++i) {
+        map_->insert(make_key(Table::kStock, w, 0, i), cfg_.initial_stock);
+      }
+    }
+  }
+
+  // Payment(w, d, c, amount): 3-key RMW. The +amount/+amount/-2*amount
+  // split keeps the monitored key-sum constant mod 2^64 (invariant 1).
+  // Runs to completion; every conflicted attempt counts one abort.
+  void payment(std::uint32_t w, std::uint32_t d, std::uint32_t c,
+               std::uint64_t amount, TpccStats* st) {
+    const std::uint64_t wk = make_key(Table::kWarehouseYtd, w, 0, 0);
+    const std::uint64_t dk = make_key(Table::kDistrictYtd, w, d, 0);
+    const std::uint64_t ck = make_key(Table::kCustomerBalance, w, d, c);
+    run_to_completion(st, [&](txn::Txn<Map>& t) {
+      const auto wy = t.get(wk);
+      const auto dy = t.get(dk);
+      const auto cb = t.get(ck);
+      if (!wy || !dy || !cb) return false;  // load bug: surface as user abort
+      t.put(wk, *wy + amount);
+      t.put(dk, *dy + amount);
+      t.put(ck, *cb - 2 * amount);
+      return true;
+    });
+    ++st->payments;
+  }
+
+  // NewOrder(w, d, items): increment the district sequence, decrement each
+  // item's stock (TPC-C's +91 refill below the reorder margin), insert the
+  // order row and its lines. Repeated items in one order are fine: Txn's
+  // read-your-writes chains the RMWs.
+  void new_order(std::uint32_t w, std::uint32_t d,
+                 const std::uint32_t* items, const std::uint32_t* qtys,
+                 std::uint32_t n_lines, TpccStats* st) {
+    const std::uint64_t dk = make_key(Table::kDistrictNextOid, w, d, 0);
+    run_to_completion(st, [&](txn::Txn<Map>& t) {
+      const auto oid = t.get(dk);
+      if (!oid) return false;
+      t.put(dk, *oid + 1);
+      for (std::uint32_t j = 0; j < n_lines; ++j) {
+        const std::uint64_t sk = make_key(Table::kStock, w, 0, items[j]);
+        const auto s = t.get(sk);
+        if (!s) return false;
+        const std::uint64_t q = qtys[j];
+        t.put(sk, *s >= q + 10 ? *s - q : *s + 91 - q);
+        t.put(make_key(Table::kOrderLine, w, d,
+                       order_line_slot(static_cast<std::uint32_t>(*oid), j)),
+              (static_cast<std::uint64_t>(items[j]) << 32) | q);
+      }
+      t.put(make_key(Table::kOrder, w, d, static_cast<std::uint32_t>(*oid)),
+            n_lines);
+      return true;
+    });
+    committed_orders_[w * cfg_.districts_per_warehouse + d].fetch_add(
+        1, std::memory_order_relaxed);
+    ++st->new_orders;
+  }
+
+  // One generated transaction, run to committed completion.
+  void run_one(TpccRandom& rnd, TpccStats* st) {
+    const std::uint32_t w = rnd.warehouse();
+    const std::uint32_t d = rnd.district();
+    if (rnd.is_payment()) {
+      payment(w, d, rnd.customer(), rnd.amount(), st);
+      return;
+    }
+    std::uint32_t items[64];
+    std::uint32_t qtys[64];
+    const std::uint32_t n = rnd.order_lines();
+    for (std::uint32_t j = 0; j < n; ++j) {
+      items[j] = rnd.item();
+      qtys[j] = 1 + (j % 10);
+    }
+    new_order(w, d, items, qtys, n, st);
+  }
+
+  // Quiescent. Checks conservation and the per-district order sequences;
+  // false with a description in *err on the first violation.
+  bool check_invariants(std::string* err = nullptr) const {
+    auto fail = [&](const std::string& what) {
+      if (err != nullptr) *err = what;
+      return false;
+    };
+    // 1. Conservation (mod 2^64).
+    const std::uint64_t customers = std::uint64_t{cfg_.warehouses} *
+                                    cfg_.districts_per_warehouse *
+                                    cfg_.customers_per_district;
+    std::uint64_t expect = customers * cfg_.initial_balance;
+    std::uint64_t sum = 0;
+    for (std::uint32_t w = 0; w < cfg_.warehouses; ++w) {
+      sum += read_or_zero(make_key(Table::kWarehouseYtd, w, 0, 0));
+      for (std::uint32_t d = 0; d < cfg_.districts_per_warehouse; ++d) {
+        sum += read_or_zero(make_key(Table::kDistrictYtd, w, d, 0));
+        for (std::uint32_t c = 0; c < cfg_.customers_per_district; ++c) {
+          sum += read_or_zero(make_key(Table::kCustomerBalance, w, d, c));
+        }
+      }
+    }
+    if (sum != expect) {
+      return fail("balance sum " + std::to_string(sum) + " != initial " +
+                  std::to_string(expect));
+    }
+    // 2. Order-id sequences and order rows.
+    for (std::uint32_t w = 0; w < cfg_.warehouses; ++w) {
+      for (std::uint32_t d = 0; d < cfg_.districts_per_warehouse; ++d) {
+        const std::uint64_t next =
+            read_or_zero(make_key(Table::kDistrictNextOid, w, d, 0));
+        const std::uint64_t committed =
+            committed_orders_[w * cfg_.districts_per_warehouse + d].load(
+                std::memory_order_relaxed);
+        if (next != cfg_.initial_next_oid + committed) {
+          return fail("district (" + std::to_string(w) + "," +
+                      std::to_string(d) + ") next_oid " +
+                      std::to_string(next) + " != initial+" +
+                      std::to_string(committed));
+        }
+        for (std::uint64_t oid = cfg_.initial_next_oid; oid < next; ++oid) {
+          const auto lines = map_->lookup(make_key(
+              Table::kOrder, w, d, static_cast<std::uint32_t>(oid)));
+          if (!lines) {
+            return fail("missing order row oid=" + std::to_string(oid));
+          }
+          for (std::uint32_t j = 0; j < *lines; ++j) {
+            if (!map_->lookup(make_key(
+                    Table::kOrderLine, w, d,
+                    order_line_slot(static_cast<std::uint32_t>(oid), j)))) {
+              return fail("missing order line oid=" + std::to_string(oid) +
+                          " ln=" + std::to_string(j));
+            }
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t read_or_zero(std::uint64_t key) const {
+    const auto v = map_->lookup(key);
+    return v ? *v : 0;
+  }
+
+  template <class Body>
+  void run_to_completion(TpccStats* st, Body&& body) {
+    sync::Backoff backoff;
+    for (;;) {
+      txn::Txn<Map> t(*map_);
+      if (!body(t)) {
+        t.abort();
+        return;  // unloaded key: config error surfaced by check_invariants
+      }
+      if (t.commit() == txn::TxnResult::kCommitted) {
+        ++st->commits;
+        return;
+      }
+      ++st->aborts;
+      backoff.pause();
+    }
+  }
+
+  TpccConfig cfg_;
+  Map* map_;
+  // Committed new-orders per (warehouse, district): ground truth for the
+  // sequence invariant. Mutable counters, structurally immutable vector.
+  mutable std::vector<std::atomic<std::uint64_t>> committed_orders_;
+};
+
+}  // namespace sv::dbx::tpcc

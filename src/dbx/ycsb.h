@@ -31,7 +31,12 @@ struct Access {
 };
 
 struct TxnRequest {
-  std::array<Access, 32> accesses;  // first `count` entries valid
+  // Hard upper bound on accesses per transaction: execution engines size
+  // their stack row buffers from this, and the generator clamps to it, so
+  // an oversized configured accesses_per_txn can never overflow a buffer.
+  static constexpr std::uint32_t kMaxAccesses = 32;
+
+  std::array<Access, kMaxAccesses> accesses;  // first `count` entries valid
   std::uint32_t count = 0;
 };
 

@@ -120,6 +120,14 @@ enum class Counter : std::uint32_t {
   kLayoutToUnsorted,  // chunks retagged sorted -> unsorted at a decision
   kTargetResize,      // decisions that changed a chunk's target size
 
+  // Transaction layer (src/txn/; docs/TRANSACTIONS.md). kTxnLockFail is
+  // counted inside the shared lock manager, so apply_batch conflicts bump
+  // it alongside kBatchAborts.
+  kTxnCommits,   // sv::txn transactions committed
+  kTxnAborts,    // Txn::commit attempts that aborted (conflict/validation)
+  kTxnLockFail,  // NO_WAIT lock-acquisition passes that failed
+  kTxnRetries,   // transaction body re-executions by txn::run
+
   kCount
 };
 
@@ -177,6 +185,10 @@ inline constexpr std::array<std::string_view, kCounterCount> kCounterNames = {
     "layout_to_sorted",
     "layout_to_unsorted",
     "target_resize",
+    "txn_commits",
+    "txn_aborts",
+    "txn_lock_fail",
+    "txn_retries",
 };
 
 inline constexpr std::string_view counter_name(Counter c) noexcept {

@@ -360,6 +360,169 @@ TYPED_TEST(LincheckCleanMatrixTest, RecordedRunsAreLinearizable) {
   }
 }
 
+// ---- Transactional histories (sv::txn alphabet) ---------------------------
+
+TEST(WglTxn, MarkerNamesRoundTripThroughDumpLoad) {
+  History h;
+  h.events = {
+      ev(OpKind::kTxnBegin, 0, 0, true, 0, 0),
+      ev(OpKind::kLookup, 1, 0, false, 10, 20),
+      ev(OpKind::kBatchPut, 1, 5, true, 10, 20),
+      ev(OpKind::kTxnCommit, 0, 0, true, 10, 20),
+      ev(OpKind::kTxnAbort, 0, 0, true, 30, 30),
+  };
+  std::stringstream ss;
+  h.dump(ss);
+  const History r = History::load(ss);
+  ASSERT_EQ(r.events.size(), h.events.size());
+  EXPECT_EQ(r.events[0].kind, OpKind::kTxnBegin);
+  EXPECT_EQ(r.events[3].kind, OpKind::kTxnCommit);
+  EXPECT_EQ(r.events[4].kind, OpKind::kTxnAbort);
+  EXPECT_TRUE(check_history(r).ok());
+}
+
+TEST(WglTxn, AcceptsCommittedTxnDecomposition) {
+  // One committed RMW txn: the validated read (lookup) and the write
+  // (batch-put) share the commit interval -- a single point must satisfy
+  // both, which exists here (read 0-absent then upsert 5).
+  History h;
+  h.events = {
+      ev(OpKind::kTxnBegin, 0, 0, true, 0, 0),
+      ev(OpKind::kLookup, 1, 0, false, 10, 20),
+      ev(OpKind::kBatchPut, 1, 5, true, 10, 20),
+      ev(OpKind::kTxnCommit, 0, 0, true, 10, 20),
+      ev(OpKind::kLookup, 1, 5, true, 30, 40),  // later read sees the commit
+  };
+  EXPECT_TRUE(check_history(h).ok());
+}
+
+TEST(WglTxn, AbortedTxnIsInvisible) {
+  // An aborted txn emits only its marker; the key it would have written
+  // stays absent, and the checker accepts that.
+  History h;
+  h.events = {
+      ev(OpKind::kTxnBegin, 0, 0, true, 0, 0),
+      ev(OpKind::kTxnAbort, 0, 0, true, 10, 20),
+      ev(OpKind::kLookup, 1, 0, false, 30, 40),
+  };
+  EXPECT_TRUE(check_history(h).ok());
+}
+
+TEST(WglTxn, RejectsSeededOrderingMutant) {
+  // Seeded bug: two sequential committed txns upsert key 1 (value 1, then
+  // value 2), but a grounded later read observes the FIRST value -- as if
+  // the second commit's write was reordered before the first. The checker
+  // must reject this transactional history.
+  History h;
+  h.events = {
+      ev(OpKind::kTxnBegin, 0, 0, true, 0, 0),
+      ev(OpKind::kBatchPut, 1, 1, true, 10, 20),
+      ev(OpKind::kTxnCommit, 0, 0, true, 10, 20),
+      ev(OpKind::kTxnBegin, 0, 0, true, 30, 30),
+      ev(OpKind::kBatchPut, 1, 2, false, 40, 50),
+      ev(OpKind::kTxnCommit, 0, 0, true, 40, 50),
+      ev(OpKind::kLookup, 1, 1, true, 60, 70),  // stale: must see 2
+  };
+  const CheckResult res = check_history(h);
+  EXPECT_EQ(res.verdict, CheckResult::Verdict::kViolation);
+  EXPECT_FALSE(res.explanation.empty());
+}
+
+TEST(WglTxn, RejectsTornCommitAcrossKeys) {
+  // A committed txn wrote keys 1 and 2 in one commit interval, but later
+  // sequential reads see key 1's write and NOT key 2's: no single
+  // linearization point exists for key 2's subhistory.
+  History h;
+  h.events = {
+      ev(OpKind::kLookup, 1, 0, false, 0, 5),   // ground both keys absent
+      ev(OpKind::kLookup, 2, 0, false, 0, 5),
+      ev(OpKind::kTxnBegin, 0, 0, true, 8, 8),
+      ev(OpKind::kBatchPut, 1, 7, true, 10, 20),
+      ev(OpKind::kBatchPut, 2, 7, true, 10, 20),
+      ev(OpKind::kTxnCommit, 0, 0, true, 10, 20),
+      ev(OpKind::kLookup, 1, 7, true, 30, 40),
+      ev(OpKind::kLookup, 2, 0, false, 30, 40),  // torn: key 2 missing
+  };
+  EXPECT_EQ(check_history(h).verdict, CheckResult::Verdict::kViolation);
+}
+
+// Recorded concurrent transactional workload through RecordingMap::run_txn:
+// transfer txns, RMW increments, and deliberate user aborts over a small
+// hot key space; the merged history (txn decomposition + markers) must be
+// accepted by the checker.
+TEST(WglTxn, RecordedConcurrentTxnHistoryIsAccepted) {
+  using Map = core::SkipVector<std::uint64_t, std::uint64_t>;
+  using Txn = txn::Txn<Map>;
+  constexpr std::uint64_t kKeys = 24;
+
+  for (std::uint64_t seed : {21u, 22u}) {
+    HistoryRecorder rec;
+    core::RecordingMap<Map> map(
+        &rec, MapMaker<Map>::SmallCfg());
+    for (std::uint64_t k = 0; k < kKeys; ++k) map.insert(k, 100);
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t) {
+      ts.emplace_back([&, t] {
+        Xoshiro256 rng(seed + static_cast<std::uint64_t>(t) * 977);
+        for (int i = 0; i < 1500; ++i) {
+          const std::uint64_t a = rng.next_below(kKeys);
+          std::uint64_t b = rng.next_below(kKeys);
+          if (b == a) b = (b + 1) % kKeys;
+          switch (rng.next_below(4)) {
+            case 0:  // transfer
+              map.run_txn([&](Txn& tx) {
+                const auto va = tx.get(a);
+                const auto vb = tx.get(b);
+                if (!va || !vb || *va == 0) return true;
+                tx.put(a, *va - 1);
+                tx.put(b, *vb + 1);
+                return true;
+              });
+              break;
+            case 1:  // RMW upsert
+              map.run_txn([&](Txn& tx) {
+                const auto v = tx.get(a);
+                tx.put(a, v.value_or(0) + 1);
+                return true;
+              });
+              break;
+            case 2:  // user abort: must stay invisible
+              map.run_txn([&](Txn& tx) {
+                tx.put(a, 0xdead);
+                return false;
+              });
+              break;
+            default:  // read-only txn
+              map.run_txn([&](Txn& tx) {
+                tx.get(a);
+                tx.get(b);
+                return true;
+              });
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+
+    const History h = rec.merge();
+    const CheckResult res = check_history(h);
+    std::stringstream dump;
+    if (!res.ok()) h.dump(dump);
+    ASSERT_TRUE(res.ok()) << "seed " << seed << ": " << res.explanation << "\n"
+                          << dump.str();
+    // The history really contains transactional structure.
+    bool saw_commit = false, saw_abort = false;
+    for (const Event& e : h.events) {
+      saw_commit |= e.kind == OpKind::kTxnCommit;
+      saw_abort |= e.kind == OpKind::kTxnAbort;
+    }
+    EXPECT_TRUE(saw_commit);
+    EXPECT_TRUE(saw_abort);
+  }
+}
+
 // ---- Mutation matrix: injected ordering bugs must be rejected -------------
 
 #if defined(SV_FAULT_INJECTION) && SV_FAULT_INJECTION

@@ -19,6 +19,7 @@
 #include "common/timer.h"
 #include "core/skip_vector.h"
 #include "dbx/database.h"
+#include "txn/txn.h"
 #include "vectormap/vector_map.h"
 
 namespace {
@@ -161,6 +162,78 @@ TEST(BankInvariant, RangeTransformTransfersConserveTotal) {
   EXPECT_GT(audits.load(), 0u);
   EXPECT_EQ(bad_sums.load(), 0u)
       << "range query observed a non-serializable balance total";
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// (3) The same bank invariant through the first-class transaction layer
+// (sv::txn): balances live IN the map, transfers are get/get/put/put
+// transactions, and auditors are read-only transactions over every account
+// -- commit-time validation makes the audited sum serializable, so every
+// committed audit must see the conserved total (not just the quiesced end
+// state).
+TEST(BankInvariant, SvTxnTransfersConserveTotal) {
+  using Map = sv::core::SkipVector<std::uint64_t, std::uint64_t>;
+  using Txn = sv::txn::Txn<Map>;
+  constexpr std::uint64_t kAccounts = 96;
+  constexpr std::uint64_t kInitial = 1000;
+
+  Map m(sv::core::Config::for_elements(kAccounts));
+  for (std::uint64_t k = 0; k < kAccounts; ++k) {
+    ASSERT_TRUE(m.insert(k, kInitial));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> audits{0}, bad_sums{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      sv::Xoshiro256 rng(t + 11);
+      for (int n = 0; n < 20000; ++n) {
+        const std::uint64_t a = rng.next_below(kAccounts);
+        std::uint64_t b = rng.next_below(kAccounts);
+        if (b == a) b = (b + 1) % kAccounts;
+        sv::txn::run(m, [&](Txn& tx) {
+          const auto va = tx.get(a);
+          const auto vb = tx.get(b);
+          const std::uint64_t amount = rng.next_below(*va + 1);
+          tx.put(a, *va - amount);
+          tx.put(b, *vb + amount);
+          return true;
+        });
+      }
+    });
+  }
+  for (unsigned t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t sum = 0;
+        if (!sv::txn::run(m, [&](Txn& tx) {
+              sum = 0;
+              for (std::uint64_t k = 0; k < kAccounts; ++k) {
+                sum += *tx.get(k);
+              }
+              return true;
+            })) {
+          continue;
+        }
+        if (sum != kAccounts * kInitial) {
+          bad_sums.fetch_add(1, std::memory_order_relaxed);
+        }
+        audits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (unsigned t = 0; t < 4; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (unsigned t = 4; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_GT(audits.load(), 0u);
+  EXPECT_EQ(bad_sums.load(), 0u)
+      << "a committed transactional audit observed a non-serializable total";
+  std::uint64_t final_sum = 0;
+  m.for_each([&](std::uint64_t, std::uint64_t v) { final_sum += v; });
+  EXPECT_EQ(final_sum, kAccounts * kInitial);
   std::string err;
   EXPECT_TRUE(m.validate(&err)) << err;
 }

@@ -1,0 +1,395 @@
+// Tests for the sv::txn transaction layer (txn/txn.h, txn/lock_mgr.h):
+// atomic multi-key commits through the shared chunk-lock manager,
+// read-your-writes, undo-free aborts, commit-time read validation, the
+// towered-remove demote path, the run() retry helper, and the transaction
+// counters. Concurrency tests pin the serializability story: lost-update
+// freedom for RMW increments and conserved totals for multi-key transfers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/skip_vector.h"
+#include "txn/txn.h"
+
+namespace sv::core {
+namespace {
+
+using Map = SkipVector<std::uint64_t, std::uint64_t>;
+using Txn = txn::Txn<Map>;
+using txn::TxnResult;
+
+Config Tiny() {
+  Config c;
+  c.layer_count = 4;
+  c.target_data_vector_size = 4;
+  c.target_index_vector_size = 4;
+  return c;
+}
+
+std::uint64_t counter(const Map& m, stats::Counter c) {
+  return m.stats_registry().snapshot()[c];
+}
+
+// ---- Single-threaded semantics ---------------------------------------------
+
+TEST(Txn, EmptyTxnCommits) {
+  Map m(Config::for_elements(64));
+  Txn t(m);
+  EXPECT_EQ(t.commit(), TxnResult::kCommitted);
+  EXPECT_EQ(counter(m, stats::Counter::kTxnCommits), 1u);
+}
+
+TEST(Txn, MultiKeyCommitIsAtomicAndVisible) {
+  Map m(Config::for_elements(1024));
+  ASSERT_TRUE(m.insert(5, 50));
+
+  Txn t(m);
+  t.put(1, 10);
+  t.put(9, 90);
+  t.remove(5);
+  ASSERT_EQ(t.commit(), TxnResult::kCommitted);
+
+  EXPECT_EQ(m.lookup(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.lookup(9), std::optional<std::uint64_t>(90));
+  EXPECT_FALSE(m.lookup(5).has_value());
+  // applied flags: both puts inserted fresh keys, the remove hit.
+  ASSERT_EQ(t.writes().size(), 3u);
+  EXPECT_TRUE(t.writes()[0].applied);
+  EXPECT_TRUE(t.writes()[1].applied);
+  EXPECT_TRUE(t.writes()[2].applied);
+  EXPECT_EQ(counter(m, stats::Counter::kTxnCommits), 1u);
+  EXPECT_EQ(counter(m, stats::Counter::kTxnAborts), 0u);
+}
+
+TEST(Txn, ReadYourWrites) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(1, 100));
+
+  Txn t(m);
+  EXPECT_EQ(t.get(1), std::optional<std::uint64_t>(100));  // live read
+  t.put(1, 111);
+  EXPECT_EQ(t.get(1), std::optional<std::uint64_t>(111));  // buffered write
+  t.remove(1);
+  EXPECT_FALSE(t.get(1).has_value());  // buffered remove
+  t.put(2, 22);
+  EXPECT_EQ(t.get(2), std::optional<std::uint64_t>(22));  // never in the map
+  ASSERT_EQ(t.commit(), TxnResult::kCommitted);
+  EXPECT_FALSE(m.lookup(1).has_value());
+  EXPECT_EQ(m.lookup(2), std::optional<std::uint64_t>(22));
+}
+
+TEST(Txn, RepeatedReadReturnsFirstObservation) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(7, 70));
+  Txn t(m);
+  EXPECT_EQ(t.get(7), std::optional<std::uint64_t>(70));
+  ASSERT_TRUE(m.update(7, 71));  // external writer between the reads
+  // The txn's view stays at the first observation (that is what commit
+  // validates), so the commit must now fail validation.
+  EXPECT_EQ(t.get(7), std::optional<std::uint64_t>(70));
+  EXPECT_EQ(t.commit(), TxnResult::kValidationFail);
+}
+
+TEST(Txn, AbortIsUndoFreeAndInvisible) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(3, 30));
+
+  Txn t(m);
+  t.put(3, 999);
+  t.put(4, 40);
+  t.remove(3);
+  t.abort();
+  EXPECT_EQ(m.lookup(3), std::optional<std::uint64_t>(30));
+  EXPECT_FALSE(m.lookup(4).has_value());
+  EXPECT_TRUE(t.reads().empty());
+  EXPECT_TRUE(t.writes().empty());
+
+  // The handle is reusable as a fresh transaction after abort().
+  t.put(4, 44);
+  ASSERT_EQ(t.commit(), TxnResult::kCommitted);
+  EXPECT_EQ(m.lookup(4), std::optional<std::uint64_t>(44));
+}
+
+TEST(Txn, ValidationFailLeavesMapUntouched) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(10, 1));
+
+  Txn t(m);
+  ASSERT_EQ(t.get(10), std::optional<std::uint64_t>(1));
+  t.put(20, 2);  // write to a DIFFERENT key than the stale read
+  ASSERT_TRUE(m.update(10, 5));  // interleaved external writer
+  EXPECT_EQ(t.commit(), TxnResult::kValidationFail);
+  // The failed commit applied nothing.
+  EXPECT_FALSE(m.lookup(20).has_value());
+  EXPECT_EQ(m.lookup(10), std::optional<std::uint64_t>(5));
+  EXPECT_EQ(counter(m, stats::Counter::kTxnAborts), 1u);
+  EXPECT_EQ(counter(m, stats::Counter::kTxnCommits), 0u);
+}
+
+TEST(Txn, ValidationCoversPresenceBothWays) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(1, 11));
+  {
+    // Read-present, then externally removed: validation must fail.
+    Txn t(m);
+    ASSERT_TRUE(t.get(1).has_value());
+    ASSERT_TRUE(m.remove(1));
+    EXPECT_EQ(t.commit(), TxnResult::kValidationFail);
+  }
+  {
+    // Read-absent, then externally inserted: validation must fail.
+    Txn t(m);
+    ASSERT_FALSE(t.get(2).has_value());
+    ASSERT_TRUE(m.insert(2, 22));
+    EXPECT_EQ(t.commit(), TxnResult::kValidationFail);
+  }
+  {
+    // Unchanged reads validate: read-only txn commits.
+    Txn t(m);
+    ASSERT_TRUE(t.get(2).has_value());
+    ASSERT_FALSE(t.get(3).has_value());
+    EXPECT_EQ(t.commit(), TxnResult::kCommitted);
+  }
+}
+
+TEST(Txn, ScanIsReadCommitted) {
+  Map m(Config::for_elements(256));
+  for (std::uint64_t k = 0; k < 10; ++k) ASSERT_TRUE(m.insert(k, k * 10));
+  Txn t(m);
+  std::uint64_t sum = 0;
+  const std::size_t n =
+      t.scan(0, 9, [&](std::uint64_t, std::uint64_t v) { sum += v; });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(sum, 450u);
+  EXPECT_EQ(t.commit(), TxnResult::kCommitted);
+}
+
+TEST(Txn, SameKeyIntentsApplyInSubmissionOrder) {
+  Map m(Config::for_elements(64));
+  Txn t(m);
+  t.put(1, 10);
+  t.remove(1);
+  t.put(1, 30);  // last write wins, like apply_batch
+  ASSERT_EQ(t.commit(), TxnResult::kCommitted);
+  EXPECT_EQ(m.lookup(1), std::optional<std::uint64_t>(30));
+}
+
+// Every key removed through its own transaction, on a tiny-chunk map where
+// many keys are towered chunk minima: exercises the internal kNeedDemote
+// retry (demote, then re-run the commit pass) end to end.
+TEST(Txn, ToweredRemovesCommitViaDemote) {
+  Map m(Tiny());
+  constexpr std::uint64_t kN = 512;
+  for (std::uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    Txn t(m);
+    t.remove(k);
+    ASSERT_EQ(t.commit(), TxnResult::kCommitted) << "key " << k;
+  }
+  EXPECT_EQ(m.size_approx(), 0u);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// ---- run() helper -----------------------------------------------------------
+
+TEST(TxnRun, BodyAbortReturnsFalseWithoutRetry) {
+  Map m(Config::for_elements(64));
+  int calls = 0;
+  const bool ok = txn::run(m, [&](Txn& t) {
+    ++calls;
+    t.put(1, 1);
+    return false;  // user abort
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(m.lookup(1).has_value());
+}
+
+TEST(TxnRun, CommitsAndReturnsTrue) {
+  Map m(Config::for_elements(64));
+  const bool ok = txn::run(m, [](Txn& t) {
+    t.put(1, 10);
+    t.put(2, 20);
+    return true;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(m.lookup(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(m.lookup(2), std::optional<std::uint64_t>(20));
+}
+
+// ---- Concurrency ------------------------------------------------------------
+
+// Lost-update freedom: N threads x M transactional increments of one hot
+// key must sum exactly (optimistic reads + commit validation make the RMW
+// serializable; retries come from txn::run).
+TEST(TxnConcurrent, HotKeyRmwLosesNoUpdates) {
+  Map m(Config::for_elements(64));
+  ASSERT_TRUE(m.insert(0, 0));
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (std::uint64_t n = 0; n < kPerThread; ++n) {
+        ASSERT_TRUE(txn::run(m, [](Txn& t) {
+          const auto v = t.get(0);
+          t.put(0, *v + 1);
+          return true;
+        }));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(m.lookup(0), std::optional<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(counter(m, stats::Counter::kTxnCommits), kThreads * kPerThread);
+  // Aborts and retries line up: every abort was retried by run().
+  EXPECT_EQ(counter(m, stats::Counter::kTxnAborts),
+            counter(m, stats::Counter::kTxnRetries));
+}
+
+// Conserved-total transfers: concurrent two-key transfer transactions plus
+// transactional auditors summing every account read-serializably. Any lost
+// update, partial commit, or stale-read commit breaks the total.
+TEST(TxnConcurrent, TransfersConserveTotal) {
+  constexpr std::uint64_t kAccounts = 64;
+  constexpr std::uint64_t kInitial = 1000;
+  constexpr unsigned kWriters = 6;
+  constexpr unsigned kAuditors = 2;
+  constexpr std::uint64_t kTransfersPerWriter = 3000;
+
+  Map m(Config::for_elements(kAccounts));
+  for (std::uint64_t k = 0; k < kAccounts; ++k) {
+    ASSERT_TRUE(m.insert(k, kInitial));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> audits{0};
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kWriters; ++i) {
+    threads.emplace_back([&, i] {
+      Xoshiro256 rng(i + 1);
+      for (std::uint64_t n = 0; n < kTransfersPerWriter; ++n) {
+        const std::uint64_t a = rng.next_below(kAccounts);
+        std::uint64_t b = rng.next_below(kAccounts);
+        if (b == a) b = (b + 1) % kAccounts;
+        const std::uint64_t amount = rng.next_below(10) + 1;
+        ASSERT_TRUE(txn::run(m, [&](Txn& t) {
+          const auto va = t.get(a);
+          const auto vb = t.get(b);
+          if (*va < amount) return true;  // commit the no-op reads
+          t.put(a, *va - amount);
+          t.put(b, *vb + amount);
+          return true;
+        }));
+      }
+    });
+  }
+  for (unsigned i = 0; i < kAuditors; ++i) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::uint64_t sum = 0;
+        const bool ok = txn::run(m, [&](Txn& t) {
+          sum = 0;
+          for (std::uint64_t k = 0; k < kAccounts; ++k) sum += *t.get(k);
+          return true;
+        });
+        ASSERT_TRUE(ok);
+        ASSERT_EQ(sum, kAccounts * kInitial);  // serializable read of all
+        audits.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (unsigned i = 0; i < kWriters; ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (unsigned i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_GT(audits.load(), 0u);
+  std::uint64_t final_sum = 0;
+  m.for_each([&](std::uint64_t, std::uint64_t v) { final_sum += v; });
+  EXPECT_EQ(final_sum, kAccounts * kInitial);
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// Transactions and plain batches share one lock manager: mixing them on
+// the same keys must preserve batch atomicity and txn serializability.
+TEST(TxnConcurrent, TxnsAndBatchesInterleave) {
+  constexpr std::uint64_t kKeys = 32;
+  Map m(Config::for_elements(kKeys));
+  for (std::uint64_t k = 0; k < kKeys; ++k) ASSERT_TRUE(m.insert(k, 0));
+
+  std::atomic<bool> stop{false};
+  std::thread batcher([&] {
+    Xoshiro256 rng(42);
+    std::vector<Map::BatchOp> ops;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ops.clear();
+      // Even-aligned pairs so no two batches overlap on one key: the
+      // invariant "key 2i == key 2i+1" survives any batch interleaving.
+      const std::uint64_t base = rng.next_below(kKeys / 2) * 2;
+      const std::uint64_t v = rng.next();
+      ops.push_back(Map::BatchOp::put(base, v));
+      ops.push_back(Map::BatchOp::put(base + 1, v));
+      m.apply_batch(ops);
+    }
+  });
+  std::thread verifier([&] {
+    Xoshiro256 rng(7);
+    for (int n = 0; n < 20000; ++n) {
+      const std::uint64_t base = rng.next_below(kKeys / 2) * 2;
+      std::uint64_t va = 0, vb = 0;
+      ASSERT_TRUE(txn::run(m, [&](Txn& t) {
+        va = *t.get(base);
+        vb = *t.get(base + 1);
+        return true;
+      }));
+      ASSERT_EQ(va, vb) << "torn batch visible at " << base;
+    }
+  });
+  verifier.join();
+  stop.store(true, std::memory_order_relaxed);
+  batcher.join();
+  std::string err;
+  EXPECT_TRUE(m.validate(&err)) << err;
+}
+
+// ---- Snapshots --------------------------------------------------------------
+
+// A wait-free snapshot pinned before a transactional commit must not see
+// the commit (transactions ride the same preserve-pre-image MVCC path as
+// batches).
+TEST(TxnSnapshots, PinnedSnapshotInvisibleToLaterTxn) {
+  Map m(Config::for_elements(256));
+  for (std::uint64_t k = 0; k < 16; ++k) ASSERT_TRUE(m.insert(k, 1));
+
+  auto view = m.snapshot_at();
+  ASSERT_TRUE(txn::run(m, [](Txn& t) {
+    for (std::uint64_t k = 0; k < 16; ++k) t.put(k, 2);
+    t.put(100, 2);
+    return true;
+  }));
+
+  std::uint64_t snap_sum = 0, snap_n = 0;
+  m.range_for_each_at(view, 0, 200, [&](std::uint64_t, std::uint64_t v) {
+    snap_sum += v;
+    ++snap_n;
+  });
+  EXPECT_EQ(snap_n, 16u);   // key 100 did not exist at the pin
+  EXPECT_EQ(snap_sum, 16u);  // all pre-commit values
+  std::uint64_t live_sum = 0;
+  m.range_for_each(0, 200, [&](std::uint64_t, std::uint64_t v) {
+    live_sum += v;
+  });
+  EXPECT_EQ(live_sum, 34u);  // 16 * 2 + 2
+}
+
+}  // namespace
+}  // namespace sv::core

@@ -66,8 +66,15 @@ mkdir -p "$out_dir"
   --json="$out_dir/BENCH_fig7.json"
 "$build_dir/bench/fig8_range" --range-bits=16 --spans=10 \
   --threads=2 --seconds=0.2 --json="$out_dir/BENCH_fig8.json"
+# fig9 pins the sv::txn transaction layer: the YCSB-T rows gate the
+# optimistic-read + NO_WAIT commit path, the TPCC-lite rows gate the
+# multi-key RMW mix (and re-check the conservation invariants -- the bench
+# exits nonzero on a violation, failing the refresh/gate outright).
+"$build_dir/bench/fig9_txn" --rows=65536 --txns=4000 --threads=1,4 \
+  --thetas=10,90 --warehouses=1,4 --json="$out_dir/BENCH_fig9.json"
 
 tools/benchdiff.py --validate-only "$out_dir"/BENCH_fig1.json \
   "$out_dir"/BENCH_fig4.json "$out_dir"/BENCH_fig5.json \
-  "$out_dir"/BENCH_fig7.json "$out_dir"/BENCH_fig8.json
+  "$out_dir"/BENCH_fig7.json "$out_dir"/BENCH_fig8.json \
+  "$out_dir"/BENCH_fig9.json
 echo "refresh_baselines: wrote baselines to $out_dir"
